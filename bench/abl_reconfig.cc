@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation A3 (design choice, Section III-B3): the value and cost of
+ * dynamic hardware isolation.
+ *
+ * Compares IRONHIDE with no reconfiguration (static 32/32), the default
+ * single heuristic reconfiguration, and the Optimal oracle; reports the
+ * number of observable scheduling events (the leakage bound) alongside
+ * the performance. Then sweeps the per-page re-homing cost to show the
+ * one-time overhead stays negligible even if page migration were 8x
+ * more expensive — supporting the paper's "~15 ms one-time" claim.
+ */
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace ih;
+
+int
+main()
+{
+    printBanner("Ablation A3 — dynamic hardware isolation",
+                "Reconfiguration policy vs performance and scheduling-"
+                "leakage events,\nand sensitivity to the page re-homing "
+                "cost.");
+
+    const SysConfig cfg = benchConfig();
+    const double scale = benchScale() * 0.5;
+    const std::vector<AppSpec> apps = {findApp("<TC, GRAPH>", scale),
+                                       findApp("<AES, QUERY>", scale),
+                                       findApp("<MEMCACHED, OS>", scale)};
+
+    Table table({"application", "policy", "completion(ms)",
+                 "reconfig events", "one-time ovh(ms)"});
+    for (const AppSpec &app : apps) {
+        struct P
+        {
+            const char *label;
+            SplitPolicy policy;
+        };
+        for (const P p : {P{"static 32/32", SplitPolicy::STATIC_HALF},
+                          P{"heuristic x1", SplitPolicy::HEURISTIC},
+                          P{"optimal x1", SplitPolicy::OPTIMAL}}) {
+            IronhideOptions opts;
+            opts.policy = p.policy;
+            const ExperimentResult r =
+                runExperiment(app, ArchKind::IRONHIDE, cfg, opts);
+            table.addRow(
+                {app.name, p.label, Table::num(r.run.completionMs(), 3),
+                 p.policy == SplitPolicy::STATIC_HALF ? "0" : "1",
+                 Table::num(cyclesToMs(r.run.reconfigCycles), 3)});
+        }
+        table.addSeparator();
+    }
+    table.print();
+
+    // Sensitivity: how expensive could page migration get before the
+    // one-time event mattered?
+    Table sens({"rehome cost (cycles/page)", "completion(ms)",
+                "one-time ovh(ms)", "ovh share"});
+    const AppSpec app = findApp("<MEMCACHED, OS>", scale);
+    for (unsigned mult : {1u, 4u, 8u}) {
+        SysConfig c2 = cfg;
+        c2.rehomePerPage = cfg.rehomePerPage * mult;
+        const ExperimentResult r =
+            runExperiment(app, ArchKind::IRONHIDE, c2);
+        sens.addRow({strprintf("%llu",
+                               (unsigned long long)c2.rehomePerPage),
+                     Table::num(r.run.completionMs(), 3),
+                     Table::num(cyclesToMs(r.run.reconfigCycles), 3),
+                     Table::pct(cyclesToMs(r.run.reconfigCycles) /
+                                r.run.completionMs())});
+    }
+    std::printf("\nRe-homing cost sensitivity (%s):\n", app.name.c_str());
+    sens.print();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 1(a): geometric-mean completion time of the
+ * SGX-like, multicore-MI6 and IRONHIDE architectures across all nine
+ * interactive applications, normalized to the insecure baseline.
+ *
+ * Paper values: SGX ~1.33x, MI6 ~2.25x, IRONHIDE best-of-secure (~20%
+ * better than SGX, ~2.1x better than MI6).
+ */
+
+#include <map>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace ih;
+
+int
+main()
+{
+    printBanner("Figure 1(a)",
+                "Normalized geomean completion time of secure processor "
+                "architectures\n(insecure baseline = 1.0). Paper: SGX "
+                "~1.33x, MI6 ~2.25x, IRONHIDE lowest.");
+
+    const SysConfig cfg = benchConfig();
+    const double scale = benchScale();
+    const std::vector<AppSpec> apps = standardApps(scale);
+    const std::vector<ArchKind> archs = {
+        ArchKind::INSECURE, ArchKind::SGX_LIKE, ArchKind::MI6,
+        ArchKind::IRONHIDE};
+
+    std::map<std::string, std::vector<double>> normalized;
+    for (const AppSpec &app : apps) {
+        double baseline = 0.0;
+        for (ArchKind kind : archs) {
+            const ExperimentResult r = runExperiment(app, kind, cfg);
+            if (kind == ArchKind::INSECURE)
+                baseline = static_cast<double>(r.run.completion);
+            normalized[r.arch].push_back(
+                static_cast<double>(r.run.completion) / baseline);
+        }
+    }
+
+    Table table({"architecture", "norm. geomean completion", "paper"});
+    table.addRow({"insecure", Table::num(geomean(normalized["insecure"])),
+                  "1.00"});
+    table.addRow({"sgx", Table::num(geomean(normalized["sgx"])), "~1.33"});
+    table.addRow({"mi6", Table::num(geomean(normalized["mi6"])), "~2.25"});
+    table.addRow({"ironhide", Table::num(geomean(normalized["ironhide"])),
+                  "lowest of the secure designs"});
+    table.print();
+    return 0;
+}

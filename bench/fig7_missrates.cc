@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 7: private L1 (a) and shared L2 (b) cache miss
+ * rates of every interactive application under MI6 and IRONHIDE.
+ *
+ * Paper shapes: IRONHIDE improves L1 miss rates by up to ~5.9x (MI6
+ * thrashes the L1s by purging them at every interaction); L2 miss rates
+ * improve up to ~2x through load-balanced slice allocation, with
+ * <TC, GRAPH> and <LIGHTTPD, OS> as exceptions where the asymmetric
+ * allocation makes IRONHIDE's L2 slightly worse.
+ */
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace ih;
+
+int
+main()
+{
+    printBanner("Figure 7",
+                "Private L1 (a) and shared L2 (b) miss rates, MI6 vs "
+                "IRONHIDE.\nPaper: L1 improves up to ~5.9x under "
+                "IRONHIDE; L2 up to ~2x, with\n<TC, GRAPH> and "
+                "<LIGHTTPD, OS> as exceptions.");
+
+    const SysConfig cfg = benchConfig();
+    const std::vector<AppSpec> apps = standardApps(benchScale());
+
+    Table table({"application", "L1 MI6", "L1 IRONHIDE", "L1 gain",
+                 "L2 MI6", "L2 IRONHIDE", "L2 gain"});
+    std::vector<double> l1_mi6, l1_ih, l2_mi6, l2_ih;
+
+    for (const AppSpec &app : apps) {
+        const ExperimentResult mi6 =
+            runExperiment(app, ArchKind::MI6, cfg);
+        const ExperimentResult ih =
+            runExperiment(app, ArchKind::IRONHIDE, cfg);
+        table.addRow({app.name, Table::pct(mi6.run.l1MissRate),
+                      Table::pct(ih.run.l1MissRate),
+                      Table::num(safeDiv(mi6.run.l1MissRate,
+                                         ih.run.l1MissRate)) + "x",
+                      Table::pct(mi6.run.l2MissRate),
+                      Table::pct(ih.run.l2MissRate),
+                      Table::num(safeDiv(mi6.run.l2MissRate,
+                                         ih.run.l2MissRate)) + "x"});
+        l1_mi6.push_back(std::max(1e-6, mi6.run.l1MissRate));
+        l1_ih.push_back(std::max(1e-6, ih.run.l1MissRate));
+        l2_mi6.push_back(std::max(1e-6, mi6.run.l2MissRate));
+        l2_ih.push_back(std::max(1e-6, ih.run.l2MissRate));
+    }
+    table.addSeparator();
+    table.addRow({"geomean", Table::pct(geomean(l1_mi6)),
+                  Table::pct(geomean(l1_ih)),
+                  Table::num(geomean(l1_mi6) / geomean(l1_ih)) + "x",
+                  Table::pct(geomean(l2_mi6)), Table::pct(geomean(l2_ih)),
+                  Table::num(geomean(l2_mi6) / geomean(l2_ih)) + "x"});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 8: sensitivity of IRONHIDE to the cluster
+ * reconfiguration decision. Geomean completion time (normalized to MI6
+ * = 100) for the gradient Heuristic, the exhaustive Optimal oracle, and
+ * fixed +/-x% decision variations that give the secure cluster x% of
+ * the machine's cores more (+) or fewer (-) than Optimal.
+ *
+ * Paper shapes: Optimal ~2.3x and Heuristic ~2.1x better than MI6, with
+ * the Heuristic staying within the +/-5% variation band.
+ */
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace ih;
+
+int
+main()
+{
+    printBanner("Figure 8",
+                "Cluster-reconfiguration decision study: completion time "
+                "normalized\nto MI6 = 100 (lower is better). Paper: "
+                "Optimal ~2.3x, Heuristic ~2.1x\nbetter than MI6; "
+                "Heuristic within the +/-5% variations.");
+
+    const SysConfig cfg = benchConfig();
+    // Fig 8 sweeps many configurations; shrink inputs to keep it quick.
+    const std::vector<AppSpec> apps = standardApps(benchScale() * 0.5);
+
+    struct Config
+    {
+        const char *label;
+        SplitPolicy policy;
+        int variation;
+    };
+    const std::vector<Config> configs = {
+        {"Heuristic", SplitPolicy::HEURISTIC, 0},
+        {"Optimal", SplitPolicy::OPTIMAL, 0},
+        {"+5%", SplitPolicy::OPTIMAL, +5},
+        {"-5%", SplitPolicy::OPTIMAL, -5},
+        {"+10%", SplitPolicy::OPTIMAL, +10},
+        {"-10%", SplitPolicy::OPTIMAL, -10},
+        {"+25%", SplitPolicy::OPTIMAL, +25},
+        {"-25%", SplitPolicy::OPTIMAL, -25},
+    };
+
+    // MI6 reference per app.
+    std::vector<double> mi6;
+    for (const AppSpec &app : apps)
+        mi6.push_back(
+            runExperiment(app, ArchKind::MI6, cfg).run.completionMs());
+
+    Table table({"configuration", "normalized completion (MI6=100)",
+                 "speedup vs MI6"});
+    table.addRow({"MI6", "100.0", "1.00x"});
+
+    for (const Config &c : configs) {
+        std::vector<double> norm;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            IronhideOptions opts;
+            opts.policy = c.policy;
+            opts.variationPct = c.variation;
+            const ExperimentResult r =
+                runExperiment(apps[i], ArchKind::IRONHIDE, cfg, opts);
+            norm.push_back(r.run.completionMs() / mi6[i] * 100.0);
+        }
+        const double g = geomean(norm);
+        table.addRow({c.label, Table::num(g, 1),
+                      Table::num(100.0 / g) + "x"});
+    }
+    table.print();
+    return 0;
+}

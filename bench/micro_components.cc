@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates: cache
+ * lookup/insert, mesh routing, network traversal, directory math,
+ * SHA-256, AES-256, and Zipf sampling. These guard the simulator's own
+ * performance (host-side), since every experiment replays tens of
+ * millions of accesses through these paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes256.hh"
+#include "crypto/sha256.hh"
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "noc/network.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+
+using namespace ih;
+
+namespace
+{
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    Cache cache("bm", 16 * 1024, 4, 64);
+    for (Addr a = 0; a < 16 * 1024; a += 64)
+        cache.insert(a, 0, Domain::INSECURE);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a));
+        a = (a + 64) & (16 * 1024 - 1);
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    Cache cache("bm", 16 * 1024, 4, 64);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!cache.findLine(a))
+            benchmark::DoNotOptimize(cache.insert(a, 0,
+                                                  Domain::INSECURE));
+        a += 64 * 257; // stride through sets
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_RoutePath(benchmark::State &state)
+{
+    SysConfig cfg;
+    Topology topo(cfg);
+    Router router(topo);
+    const ClusterRange cl{0, 32};
+    CoreId s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            router.path(s % 32, (s * 7 + 3) % 32,
+                        router.selectOrder(s % 32, cl)));
+        ++s;
+    }
+}
+BENCHMARK(BM_RoutePath);
+
+void
+BM_NetworkTraverse(benchmark::State &state)
+{
+    SysConfig cfg;
+    Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange whole{0, topo.numTiles()};
+    Cycle t = 0;
+    CoreId s = 0;
+    for (auto _ : state) {
+        t = net.traverse(s % 64, (s * 13 + 5) % 64, t, 5, whole);
+        ++s;
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_NetworkTraverse);
+
+void
+BM_DirectorySharers(benchmark::State &state)
+{
+    std::uint64_t mask = 0xDEADBEEFCAFEF00DULL;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        Directory::forEachSharer(mask, [&](CoreId c) { acc += c; });
+        mask = (mask << 1) | (mask >> 63);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_DirectorySharers);
+
+void
+BM_Sha256_1KiB(benchmark::State &state)
+{
+    std::uint8_t buf[1024] = {42};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(buf, sizeof(buf)));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations())
+                            * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void
+BM_Aes256Block(benchmark::State &state)
+{
+    Aes256::Key key{};
+    for (unsigned i = 0; i < key.size(); ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    Aes256 aes(key);
+    Aes256::Block block{};
+    for (auto _ : state) {
+        block = aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations())
+                            * 16);
+}
+BENCHMARK(BM_Aes256Block);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Rng rng(7);
+    ZipfSampler zipf(65536, 0.9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "core/audit_log.hh"
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+const char *
+auditKindName(AuditKind k)
+{
+    switch (k) {
+      case AuditKind::ATTEST_OK: return "attest_ok";
+      case AuditKind::ATTEST_FAIL: return "attest_fail";
+      case AuditKind::ENCLAVE_ENTER: return "enclave_enter";
+      case AuditKind::ENCLAVE_EXIT: return "enclave_exit";
+      case AuditKind::PRIVATE_PURGE: return "private_purge";
+      case AuditKind::MC_DRAIN: return "mc_drain";
+      case AuditKind::RECONFIG: return "reconfig";
+      case AuditKind::ACCESS_BLOCKED: return "access_blocked";
+    }
+    return "unknown";
+}
+
+void
+AuditLog::record(AuditKind kind, Cycle when, ProcId proc,
+                 std::string detail)
+{
+    // Purge/enter/exit events can number in the hundreds of thousands;
+    // keep full records only for the rare structural events and count
+    // the rest.
+    ++counts_[static_cast<unsigned>(kind)];
+    switch (kind) {
+      case AuditKind::ATTEST_OK:
+      case AuditKind::ATTEST_FAIL:
+      case AuditKind::RECONFIG:
+        events_.push_back({kind, when, proc, std::move(detail)});
+        break;
+      default:
+        break;
+    }
+}
+
+std::uint64_t
+AuditLog::count(AuditKind kind) const
+{
+    return counts_[static_cast<unsigned>(kind)];
+}
+
+void
+AuditLog::clear()
+{
+    events_.clear();
+    for (auto &c : counts_)
+        c = 0;
+}
+
+std::string
+AuditLog::toString() const
+{
+    std::string out;
+    for (const auto &e : events_) {
+        out += strprintf("[%12llu] %-14s proc=%u %s\n",
+                         static_cast<unsigned long long>(e.when),
+                         auditKindName(e.kind), e.proc, e.detail.c_str());
+    }
+    return out;
+}
+
+} // namespace ih

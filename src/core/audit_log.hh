@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Security audit log. Every security-relevant hardware/kernel event is
+ * recorded here: attestations, enclave entries/exits, purges, cluster
+ * reconfigurations and blocked accesses. Besides debugging, the log is
+ * how the "bounded scheduling leakage" property is enforced and tested:
+ * IRONHIDE limits cluster reconfiguration to once per interactive
+ * application invocation, so the RECONFIG event count is part of the
+ * security argument, not just telemetry.
+ */
+
+#ifndef IH_CORE_AUDIT_LOG_HH
+#define IH_CORE_AUDIT_LOG_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ih
+{
+
+/** Kind of security event. */
+enum class AuditKind : std::uint8_t
+{
+    ATTEST_OK = 0,
+    ATTEST_FAIL,
+    ENCLAVE_ENTER,
+    ENCLAVE_EXIT,
+    PRIVATE_PURGE,
+    MC_DRAIN,
+    RECONFIG,
+    ACCESS_BLOCKED,
+};
+
+/** Printable name of an audit kind. */
+const char *auditKindName(AuditKind k);
+
+/** One audit record. */
+struct AuditEvent
+{
+    AuditKind kind;
+    Cycle when;
+    ProcId proc;
+    std::string detail;
+};
+
+/** Append-only audit log with per-kind counters. */
+class AuditLog
+{
+  public:
+    void record(AuditKind kind, Cycle when, ProcId proc,
+                std::string detail = "");
+
+    std::uint64_t count(AuditKind kind) const;
+    const std::vector<AuditEvent> &events() const { return events_; }
+    void clear();
+
+    /** Render the log as text (tests / debugging). */
+    std::string toString() const;
+
+  private:
+    std::vector<AuditEvent> events_;
+    std::uint64_t counts_[16] = {};
+};
+
+} // namespace ih
+
+#endif // IH_CORE_AUDIT_LOG_HH

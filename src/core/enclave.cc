@@ -1,0 +1,3 @@
+// EnclaveContext/EnclaveTable are header-only; this translation unit
+// anchors the module in the library.
+#include "core/enclave.hh"

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Enclave lifecycle bookkeeping. Each secure process has an enclave
+ * context tracking whether it is currently entered, how many
+ * entries/exits it has performed, and the cumulative time spent in
+ * transition overheads — the numbers behind the interactivity-rate and
+ * overhead-breakdown results.
+ */
+
+#ifndef IH_CORE_ENCLAVE_HH
+#define IH_CORE_ENCLAVE_HH
+
+#include <unordered_map>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace ih
+{
+
+/** Lifecycle state of one secure process's enclave. */
+class EnclaveContext
+{
+  public:
+    /** Record an entry beginning at @p t0 and completing at @p t1. */
+    void
+    enter(Cycle t0, Cycle t1)
+    {
+        IH_ASSERT(!inside_, "double enclave entry");
+        inside_ = true;
+        ++entries_;
+        overhead_ += t1 - t0;
+    }
+
+    /** Record an exit beginning at @p t0 and completing at @p t1. */
+    void
+    exit(Cycle t0, Cycle t1)
+    {
+        IH_ASSERT(inside_, "enclave exit without entry");
+        inside_ = false;
+        ++exits_;
+        overhead_ += t1 - t0;
+    }
+
+    bool inside() const { return inside_; }
+    std::uint64_t entries() const { return entries_; }
+    std::uint64_t exits() const { return exits_; }
+    Cycle transitionOverhead() const { return overhead_; }
+
+  private:
+    bool inside_ = false;
+    std::uint64_t entries_ = 0;
+    std::uint64_t exits_ = 0;
+    Cycle overhead_ = 0;
+};
+
+/** Enclave contexts of all secure processes under one model. */
+class EnclaveTable
+{
+  public:
+    EnclaveContext &
+    of(ProcId p)
+    {
+        return table_[p];
+    }
+
+    /** Total entries+exits across all enclaves. */
+    std::uint64_t
+    totalTransitions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[id, ctx] : table_)
+            n += ctx.entries() + ctx.exits();
+        return n;
+    }
+
+    /** Total transition overhead cycles across all enclaves. */
+    Cycle
+    totalOverhead() const
+    {
+        Cycle n = 0;
+        for (const auto &[id, ctx] : table_)
+            n += ctx.transitionOverhead();
+        return n;
+    }
+
+  private:
+    std::unordered_map<ProcId, EnclaveContext> table_;
+};
+
+} // namespace ih
+
+#endif // IH_CORE_ENCLAVE_HH

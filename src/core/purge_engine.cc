@@ -1,0 +1,47 @@
+#include "core/purge_engine.hh"
+
+#include <algorithm>
+
+namespace ih
+{
+
+PurgeEngine::PurgeEngine(System &sys) : sys_(sys)
+{
+}
+
+Cycle
+PurgeEngine::fullPurge(const std::vector<CoreId> &cores,
+                       const std::vector<McId> &mcs, Cycle when)
+{
+    Cycle t = when + sys_.config().pipelineFlushCycles;
+    const Cycle priv_done = sys_.mem().purgePrivate(cores, t);
+    const Cycle mc_done = sys_.mem().drainControllers(mcs, t);
+    t = std::max(priv_done, mc_done);
+    purgeCycles_ += t - when;
+    ++purgeEvents_;
+    sys_.audit().record(AuditKind::PRIVATE_PURGE, t, INVALID_PROC);
+    sys_.audit().record(AuditKind::MC_DRAIN, t, INVALID_PROC);
+    return t;
+}
+
+Cycle
+PurgeEngine::privatePurge(const std::vector<CoreId> &cores, Cycle when)
+{
+    const Cycle t = sys_.mem().purgePrivate(cores, when);
+    purgeCycles_ += t - when;
+    ++purgeEvents_;
+    sys_.audit().record(AuditKind::PRIVATE_PURGE, t, INVALID_PROC);
+    return t;
+}
+
+Cycle
+PurgeEngine::drain(const std::vector<McId> &mcs, Cycle when)
+{
+    const Cycle t = sys_.mem().drainControllers(mcs, when);
+    purgeCycles_ += t - when;
+    ++purgeEvents_;
+    sys_.audit().record(AuditKind::MC_DRAIN, t, INVALID_PROC);
+    return t;
+}
+
+} // namespace ih

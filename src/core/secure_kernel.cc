@@ -1,0 +1,47 @@
+#include "core/secure_kernel.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+SecureKernel::SecureKernel(System &sys, const Key &vendor_key)
+    : sys_(sys), vendorKey_(vendor_key)
+{
+}
+
+std::array<std::uint8_t, 32>
+SecureKernel::sign(const std::array<std::uint8_t, 32> &measurement,
+                   const Key &key)
+{
+    return hmacSha256(key.data(), key.size(), measurement.data(),
+                      measurement.size());
+}
+
+void
+SecureKernel::provision(Process &proc) const
+{
+    proc.setSignature(sign(proc.measurement(), vendorKey_));
+}
+
+bool
+SecureKernel::attest(Process &proc, Cycle &t)
+{
+    const auto expected = sign(proc.measurement(), vendorKey_);
+    const bool ok = std::memcmp(expected.data(), proc.signature().data(),
+                                expected.size()) == 0;
+    if (!ok) {
+        sys_.audit().record(AuditKind::ATTEST_FAIL, t, proc.id(),
+                            proc.name());
+        warn("attestation failed for process '%s'", proc.name().c_str());
+        return false;
+    }
+    t += sys_.config().attestCycles;
+    ++attested_;
+    sys_.audit().record(AuditKind::ATTEST_OK, t, proc.id(), proc.name());
+    return true;
+}
+
+} // namespace ih

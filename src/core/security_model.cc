@@ -1,0 +1,81 @@
+#include "core/security_model.hh"
+
+#include "core/insecure.hh"
+#include "core/ironhide.hh"
+#include "core/mi6.hh"
+#include "core/sgx_like.hh"
+#include "sim/log.hh"
+
+namespace ih
+{
+
+const char *
+archName(ArchKind k)
+{
+    switch (k) {
+      case ArchKind::INSECURE: return "insecure";
+      case ArchKind::SGX_LIKE: return "sgx";
+      case ArchKind::MI6: return "mi6";
+      case ArchKind::IRONHIDE: return "ironhide";
+    }
+    return "unknown";
+}
+
+SecurityModel::SecurityModel(System &sys, std::string name)
+    : sys_(sys), name_(std::move(name)), purge_(sys)
+{
+}
+
+void
+SecurityModel::assignWholeMachine(const std::vector<Process *> &procs)
+{
+    // Co-running processes spread over disjoint core sets (the OS
+    // scheduler balances them across the machine), but every process has
+    // machine-wide scope: caches, TLBs, network and controllers are
+    // architecturally shared — nothing is partitioned or confined.
+    const ClusterRange whole{0, sys_.numTiles()};
+    const unsigned half = sys_.numTiles() / 2;
+    for (Process *p : procs) {
+        if (p->domain() == Domain::SECURE)
+            p->setCores(sys_.prefixTiles(half));
+        else
+            p->setCores(sys_.suffixTiles(half));
+        p->setCluster(whole);
+    }
+}
+
+std::vector<CoreId>
+SecurityModel::allTiles() const
+{
+    std::vector<CoreId> out;
+    for (CoreId t = 0; t < sys_.numTiles(); ++t)
+        out.push_back(t);
+    return out;
+}
+
+std::vector<McId>
+SecurityModel::allMcs() const
+{
+    std::vector<McId> out;
+    for (McId m = 0; m < sys_.mem().numMcs(); ++m)
+        out.push_back(m);
+    return out;
+}
+
+std::unique_ptr<SecurityModel>
+createModel(ArchKind kind, System &sys)
+{
+    switch (kind) {
+      case ArchKind::INSECURE:
+        return std::make_unique<InsecureBaseline>(sys);
+      case ArchKind::SGX_LIKE:
+        return std::make_unique<SgxLike>(sys);
+      case ArchKind::MI6:
+        return std::make_unique<MulticoreMi6>(sys);
+      case ArchKind::IRONHIDE:
+        return std::make_unique<Ironhide>(sys);
+    }
+    panic("unknown architecture kind");
+}
+
+} // namespace ih

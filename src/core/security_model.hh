@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The security-architecture abstraction.
+ *
+ * A SecurityModel decides (1) where processes run (core assignment and
+ * cluster confinement), (2) how shared state is partitioned (L2 slices,
+ * DRAM regions, memory controllers, homing policy), and (3) what happens
+ * at every secure-process entry and exit (purges, constant costs,
+ * nothing). The interactive-application driver calls enclaveEnter/Exit
+ * around every interaction and reads the accumulated overheads back for
+ * the completion-time breakdowns.
+ *
+ * Four architectures are provided:
+ *  - InsecureBaseline: no protection, the normalization baseline.
+ *  - SgxLike:          Intel-SGX-style enclaves; constant 5 us per
+ *                      entry/exit, no partitioning, no purging.
+ *  - MulticoreMi6:     SGX execution model + strong isolation: static
+ *                      L2/DRAM partitioning, full purge of private state
+ *                      and MC queues at *every* entry/exit.
+ *  - Ironhide:         spatial secure/insecure clusters, pinned secure
+ *                      processes, no per-interaction purging, dynamic
+ *                      (once-per-invocation) reconfiguration.
+ */
+
+#ifndef IH_CORE_SECURITY_MODEL_HH
+#define IH_CORE_SECURITY_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/enclave.hh"
+#include "core/purge_engine.hh"
+#include "core/system.hh"
+
+namespace ih
+{
+
+/** Architecture selector for the factory. */
+enum class ArchKind : std::uint8_t
+{
+    INSECURE = 0,
+    SGX_LIKE,
+    MI6,
+    IRONHIDE,
+};
+
+/** Printable architecture name. */
+const char *archName(ArchKind k);
+
+/** Base class of all security architectures. */
+class SecurityModel
+{
+  public:
+    SecurityModel(System &sys, std::string name);
+    virtual ~SecurityModel() = default;
+
+    /**
+     * Admit and place @p procs (attestation, partitioning, core
+     * assignment) starting at time @p t.
+     * @return the time when setup completes.
+     */
+    virtual Cycle configure(const std::vector<Process *> &procs,
+                            Cycle t) = 0;
+
+    /** Secure-process entry protocol; returns the post-entry time. */
+    virtual Cycle enclaveEnter(Process &proc, Cycle t) = 0;
+
+    /** Secure-process exit protocol; returns the post-exit time. */
+    virtual Cycle enclaveExit(Process &proc, Cycle t) = 0;
+
+    /**
+     * Dynamic hardware isolation (IRONHIDE only): rebind the cluster
+     * split to @p secure_cores. Default: unsupported no-op.
+     */
+    virtual Cycle
+    reconfigure(unsigned secure_cores, Cycle t)
+    {
+        (void)secure_cores;
+        return t;
+    }
+
+    /**
+     * True for architectures that pin processes to spatially isolated
+     * clusters (and therefore support cluster reconfiguration). All
+     * models co-run the producer and consumer; only spatial models own
+     * disjoint partitions of every resource class.
+     */
+    virtual bool spatial() const { return false; }
+
+    /** Cores currently assigned to the secure side (0 = time-shared). */
+    virtual unsigned secureCoreCount() const { return 0; }
+
+    const std::string &name() const { return name_; }
+    System &system() { return sys_; }
+    PurgeEngine &purger() { return purge_; }
+    EnclaveTable &enclaves() { return enclaves_; }
+
+    /** Cycles spent in purges (critical path). */
+    Cycle purgeOverhead() const { return purge_.purgeCycles(); }
+
+    /** Cycles spent in enclave transitions (includes purges and
+     *  constant entry/exit costs). */
+    Cycle transitionOverhead() const { return enclaves_.totalOverhead(); }
+
+    /** Total enclave entry+exit events. */
+    std::uint64_t transitions() const
+    {
+        return enclaves_.totalTransitions();
+    }
+
+    /** One-time setup/reconfiguration overhead (IRONHIDE). */
+    Cycle reconfigOverhead() const { return reconfigOverhead_; }
+
+  protected:
+    /** Give every process every core with machine-wide scope. */
+    void assignWholeMachine(const std::vector<Process *> &procs);
+
+    /** All tile ids. */
+    std::vector<CoreId> allTiles() const;
+
+    /** All controller ids. */
+    std::vector<McId> allMcs() const;
+
+    System &sys_;
+    std::string name_;
+    PurgeEngine purge_;
+    EnclaveTable enclaves_;
+    Cycle reconfigOverhead_ = 0;
+};
+
+/** Construct the architecture @p kind over @p sys. */
+std::unique_ptr<SecurityModel> createModel(ArchKind kind, System &sys);
+
+} // namespace ih
+
+#endif // IH_CORE_SECURITY_MODEL_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SGX-like enclave model. Matches the paper's modelling of Intel SGX:
+ * every enclave entry (ECALL) and exit (OCALL) pays a constant 5 us —
+ * the HotCalls-measured cost of the pipeline flush plus data
+ * encryption/decryption and memory-integrity verification — but shared
+ * caches, TLBs, DRAM and memory controllers stay temporally shared and
+ * unpartitioned, so the secure process's microarchitectural footprint
+ * remains fully observable (no strong isolation).
+ */
+
+#ifndef IH_CORE_SGX_LIKE_HH
+#define IH_CORE_SGX_LIKE_HH
+
+#include "core/security_model.hh"
+
+namespace ih
+{
+
+/** Intel-SGX-style enclave execution model. */
+class SgxLike : public SecurityModel
+{
+  public:
+    explicit SgxLike(System &sys);
+
+    Cycle configure(const std::vector<Process *> &procs, Cycle t) override;
+    Cycle enclaveEnter(Process &proc, Cycle t) override;
+    Cycle enclaveExit(Process &proc, Cycle t) override;
+};
+
+} // namespace ih
+
+#endif // IH_CORE_SGX_LIKE_HH

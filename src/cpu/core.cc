@@ -1,0 +1,31 @@
+#include "cpu/core.hh"
+
+namespace ih
+{
+
+Core::Core(CoreId id, const SysConfig &cfg)
+    : id_(id), cfg_(cfg), stats_(strprintf("core.%u", id))
+{
+}
+
+Cycle
+Core::flushPipeline(Cycle when)
+{
+    stats_.counter("pipeline_flushes").inc();
+    return when + cfg_.pipelineFlushCycles;
+}
+
+void
+Core::retire(std::uint64_t instructions)
+{
+    stats_.counter("instructions").inc(instructions);
+}
+
+void
+Core::noteBusyUntil(Cycle t)
+{
+    if (t > busyUntil_)
+        busyUntil_ = t;
+}
+
+} // namespace ih

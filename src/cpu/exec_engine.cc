@@ -1,0 +1,135 @@
+#include "cpu/exec_engine.hh"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+ExecContext::ExecContext(ExecEngine &engine, Process &proc,
+                         unsigned thread_index, unsigned num_threads,
+                         CoreId core, Cycle now)
+    : engine_(&engine), proc_(&proc), threadIndex_(thread_index),
+      numThreads_(num_threads), core_(core), now_(now)
+{
+}
+
+void
+ExecContext::access(AddressSpace &space, VAddr va, MemOp op)
+{
+    const AccessResult r = engine_->mem_.access(core_, space, va, op, now_,
+                                                proc_->cluster());
+    now_ = r.finish;
+    lastL1Hit_ = r.l1Hit;
+    lastL2Hit_ = r.l2Hit;
+    ++instructions_;
+}
+
+void
+ExecContext::accessShared(AddressSpace &space, VAddr va, MemOp op)
+{
+    // IPC traffic crosses clusters by design; give it machine scope so
+    // the isolation checker does not flag it.
+    const ClusterRange whole{0, engine_->mem_.numTiles()};
+    const AccessResult r =
+        engine_->mem_.access(core_, space, va, op, now_, whole);
+    now_ = r.finish;
+    lastL1Hit_ = r.l1Hit;
+    lastL2Hit_ = r.l2Hit;
+    ++instructions_;
+    engine_->stats_.counter("ipc_accesses").inc();
+}
+
+void
+ExecContext::compute(std::uint64_t n)
+{
+    now_ += n; // 1 IPC
+    instructions_ += n;
+}
+
+void
+ExecContext::sync()
+{
+    now_ += ExecEngine::SYNC_BASE +
+            static_cast<Cycle>(numThreads_) * ExecEngine::SYNC_PER_THREAD;
+    ++instructions_;
+    engine_->stats_.counter("syncs").inc();
+}
+
+Rng &
+ExecContext::rng()
+{
+    return proc_->rng();
+}
+
+ExecEngine::ExecEngine(const SysConfig &cfg, MemorySystem &mem)
+    : cfg_(cfg), mem_(mem), stats_("engine")
+{
+    for (CoreId c = 0; c < mem.numTiles(); ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg));
+}
+
+PhaseResult
+ExecEngine::runPhase(Process &proc, SteppableTask &task, Cycle start)
+{
+    const std::vector<CoreId> &cores = proc.cores();
+    IH_ASSERT(!cores.empty(), "process '%s' has no cores assigned",
+              proc.name().c_str());
+    // The application's software thread count is fixed; when a process
+    // has more threads than assigned cores, co-located threads
+    // time-multiplex their core (a core runs one thread at a time).
+    const unsigned n_threads = proc.requestedThreads();
+
+    std::vector<ExecContext> ctxs;
+    ctxs.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        ctxs.emplace_back(*this, proc, i, n_threads, cores[i % cores.size()],
+                          start);
+
+    // Per-core availability for the multiplexing model.
+    std::unordered_map<CoreId, Cycle> core_free;
+    for (CoreId c : cores)
+        core_free[c] = start;
+
+    // Min-heap of runnable threads ordered by local time.
+    using Entry = std::pair<Cycle, unsigned>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (unsigned i = 0; i < n_threads; ++i)
+        heap.emplace(start, i);
+
+    PhaseResult res;
+    res.finish = start;
+    while (!heap.empty()) {
+        const auto [t, idx] = heap.top();
+        heap.pop();
+        ExecContext &ctx = ctxs[idx];
+        // Wait for the core: co-located threads serialize.
+        Cycle &free_at = core_free[ctx.core()];
+        if (free_at > t) {
+            ctx.now_ = free_at;
+            heap.emplace(ctx.now_, idx);
+            continue;
+        }
+        const bool more = task.step(ctx);
+        free_at = ctx.now_;
+        ++res.steps;
+        if (more) {
+            heap.emplace(ctx.now_, idx);
+        } else {
+            res.finish = std::max(res.finish, ctx.now_);
+            core(ctx.core()).noteBusyUntil(ctx.now_);
+            core(ctx.core()).retire(ctx.instructions_);
+            res.instructions += ctx.instructions_;
+        }
+    }
+
+    proc.stats().counter("instructions").inc(res.instructions);
+    proc.stats().counter("phases").inc();
+    stats_.counter("phases").inc();
+    return res;
+}
+
+} // namespace ih

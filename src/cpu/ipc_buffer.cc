@@ -1,0 +1,33 @@
+#include "cpu/ipc_buffer.hh"
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+IpcBuffer::IpcBuffer(Process &owner, unsigned slots, unsigned slot_bytes)
+    : owner_(&owner), slots_(slots), slotBytes_(slot_bytes)
+{
+    IH_ASSERT(owner.domain() == Domain::INSECURE,
+              "the IPC buffer must live in the insecure process's space");
+    IH_ASSERT(slots > 0 && slot_bytes > 0, "empty IPC ring");
+    base_ = owner_->space().reserveRange(
+        static_cast<std::uint64_t>(slots_) * (HEADER_BYTES + slotBytes_));
+}
+
+VAddr
+IpcBuffer::headerAddr(unsigned i) const
+{
+    IH_ASSERT(i < slots_, "IPC slot %u out of range", i);
+    return base_ + static_cast<VAddr>(i) * (HEADER_BYTES + slotBytes_);
+}
+
+VAddr
+IpcBuffer::payloadAddr(unsigned i, unsigned off) const
+{
+    IH_ASSERT(i < slots_, "IPC slot %u out of range", i);
+    IH_ASSERT(off < slotBytes_, "IPC payload offset out of range");
+    return headerAddr(i) + HEADER_BYTES + off;
+}
+
+} // namespace ih

@@ -1,0 +1,242 @@
+#include "crypto/aes256.hh"
+
+#include <cstring>
+
+namespace ih
+{
+
+namespace
+{
+
+/** GF(2^8) multiply by x (xtime). */
+std::uint8_t
+xtime(std::uint8_t v)
+{
+    return static_cast<std::uint8_t>((v << 1) ^ ((v & 0x80) ? 0x1b : 0x00));
+}
+
+/** GF(2^8) multiplication. */
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    while (b) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+struct Tables
+{
+    std::uint8_t sbox[256];
+    std::uint32_t t[4][256];
+
+    Tables()
+    {
+        // Build the S-box from the multiplicative inverse in GF(2^8)
+        // followed by the affine transform, rather than hard-coding it.
+        std::uint8_t inv[256] = {};
+        for (unsigned a = 1; a < 256; ++a) {
+            for (unsigned b = 1; b < 256; ++b) {
+                if (gmul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)) == 1) {
+                    inv[a] = static_cast<std::uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (unsigned x = 0; x < 256; ++x) {
+            std::uint8_t q = inv[x];
+            std::uint8_t s = q;
+            for (int i = 1; i <= 4; ++i)
+                s ^= static_cast<std::uint8_t>((q << i) | (q >> (8 - i)));
+            sbox[x] = static_cast<std::uint8_t>(s ^ 0x63);
+        }
+
+        // T-tables: combined SubBytes + MixColumns per byte position.
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint8_t s = sbox[x];
+            const std::uint8_t s2 = xtime(s);
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+            t[0][x] = (std::uint32_t(s2) << 24) | (std::uint32_t(s) << 16) |
+                      (std::uint32_t(s) << 8) | s3;
+            t[1][x] = (std::uint32_t(s3) << 24) | (std::uint32_t(s2) << 16) |
+                      (std::uint32_t(s) << 8) | s;
+            t[2][x] = (std::uint32_t(s) << 24) | (std::uint32_t(s3) << 16) |
+                      (std::uint32_t(s2) << 8) | s;
+            t[3][x] = (std::uint32_t(s) << 24) | (std::uint32_t(s) << 16) |
+                      (std::uint32_t(s3) << 8) | s2;
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+constexpr std::uint8_t RCON[15] = {
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+    0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+};
+
+std::uint32_t
+load32be(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+void
+store32be(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+} // namespace
+
+std::uint8_t
+Aes256::sbox(std::uint8_t x)
+{
+    return tables().sbox[x];
+}
+
+Aes256::Aes256(const Key &key)
+{
+    expandKey(key);
+}
+
+void
+Aes256::expandKey(const Key &key)
+{
+    const auto &tb = tables();
+    for (unsigned i = 0; i < 8; ++i)
+        round_keys_[i] = load32be(key.data() + 4 * i);
+
+    for (unsigned i = 8; i < NUM_ROUND_WORDS; ++i) {
+        std::uint32_t tmp = round_keys_[i - 1];
+        if (i % 8 == 0) {
+            // RotWord + SubWord + Rcon.
+            tmp = (tmp << 8) | (tmp >> 24);
+            tmp = (std::uint32_t(tb.sbox[(tmp >> 24) & 0xff]) << 24) |
+                  (std::uint32_t(tb.sbox[(tmp >> 16) & 0xff]) << 16) |
+                  (std::uint32_t(tb.sbox[(tmp >> 8) & 0xff]) << 8) |
+                  std::uint32_t(tb.sbox[tmp & 0xff]);
+            tmp ^= std::uint32_t(RCON[i / 8 - 1]) << 24;
+        } else if (i % 8 == 4) {
+            tmp = (std::uint32_t(tb.sbox[(tmp >> 24) & 0xff]) << 24) |
+                  (std::uint32_t(tb.sbox[(tmp >> 16) & 0xff]) << 16) |
+                  (std::uint32_t(tb.sbox[(tmp >> 8) & 0xff]) << 8) |
+                  std::uint32_t(tb.sbox[tmp & 0xff]);
+        }
+        round_keys_[i] = round_keys_[i - 8] ^ tmp;
+    }
+}
+
+Aes256::Block
+Aes256::encryptBlock(const Block &in) const
+{
+    return encryptBlockTraced(in, LookupHook());
+}
+
+Aes256::Block
+Aes256::encryptBlockTraced(const Block &in, const LookupHook &hook) const
+{
+    const auto &tb = tables();
+    std::uint32_t s0 = load32be(in.data()) ^ round_keys_[0];
+    std::uint32_t s1 = load32be(in.data() + 4) ^ round_keys_[1];
+    std::uint32_t s2 = load32be(in.data() + 8) ^ round_keys_[2];
+    std::uint32_t s3 = load32be(in.data() + 12) ^ round_keys_[3];
+
+    auto look = [&](unsigned table, unsigned idx) -> std::uint32_t {
+        if (hook)
+            hook(table, idx);
+        return tb.t[table][idx];
+    };
+
+    // 13 full rounds (rounds 1..13 of AES-256).
+    for (unsigned r = 1; r <= 13; ++r) {
+        const std::uint32_t *rk = &round_keys_[4 * r];
+        const std::uint32_t n0 = look(0, (s0 >> 24) & 0xff) ^
+                                 look(1, (s1 >> 16) & 0xff) ^
+                                 look(2, (s2 >> 8) & 0xff) ^
+                                 look(3, s3 & 0xff) ^ rk[0];
+        const std::uint32_t n1 = look(0, (s1 >> 24) & 0xff) ^
+                                 look(1, (s2 >> 16) & 0xff) ^
+                                 look(2, (s3 >> 8) & 0xff) ^
+                                 look(3, s0 & 0xff) ^ rk[1];
+        const std::uint32_t n2 = look(0, (s2 >> 24) & 0xff) ^
+                                 look(1, (s3 >> 16) & 0xff) ^
+                                 look(2, (s0 >> 8) & 0xff) ^
+                                 look(3, s1 & 0xff) ^ rk[2];
+        const std::uint32_t n3 = look(0, (s3 >> 24) & 0xff) ^
+                                 look(1, (s0 >> 16) & 0xff) ^
+                                 look(2, (s1 >> 8) & 0xff) ^
+                                 look(3, s2 & 0xff) ^ rk[3];
+        s0 = n0;
+        s1 = n1;
+        s2 = n2;
+        s3 = n3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    const std::uint32_t *rk = &round_keys_[4 * 14];
+    auto sub = [&](unsigned idx) -> std::uint32_t {
+        if (hook)
+            hook(4, idx);
+        return tb.sbox[idx];
+    };
+    const std::uint32_t f0 = (sub((s0 >> 24) & 0xff) << 24) |
+                             (sub((s1 >> 16) & 0xff) << 16) |
+                             (sub((s2 >> 8) & 0xff) << 8) |
+                             sub(s3 & 0xff);
+    const std::uint32_t f1 = (sub((s1 >> 24) & 0xff) << 24) |
+                             (sub((s2 >> 16) & 0xff) << 16) |
+                             (sub((s3 >> 8) & 0xff) << 8) |
+                             sub(s0 & 0xff);
+    const std::uint32_t f2 = (sub((s2 >> 24) & 0xff) << 24) |
+                             (sub((s3 >> 16) & 0xff) << 16) |
+                             (sub((s0 >> 8) & 0xff) << 8) |
+                             sub(s1 & 0xff);
+    const std::uint32_t f3 = (sub((s3 >> 24) & 0xff) << 24) |
+                             (sub((s0 >> 16) & 0xff) << 16) |
+                             (sub((s1 >> 8) & 0xff) << 8) |
+                             sub(s2 & 0xff);
+
+    Block out;
+    store32be(out.data(), f0 ^ rk[0]);
+    store32be(out.data() + 4, f1 ^ rk[1]);
+    store32be(out.data() + 8, f2 ^ rk[2]);
+    store32be(out.data() + 12, f3 ^ rk[3]);
+    return out;
+}
+
+std::uint64_t
+Aes256::encryptCtr(std::uint8_t *data, std::size_t len,
+                   std::uint64_t counter) const
+{
+    std::size_t off = 0;
+    while (off < len) {
+        Block ctr_block = {};
+        for (int i = 0; i < 8; ++i)
+            ctr_block[8 + i] =
+                static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+        const Block keystream = encryptBlock(ctr_block);
+        const std::size_t take = std::min<std::size_t>(16, len - off);
+        for (std::size_t i = 0; i < take; ++i)
+            data[off + i] ^= keystream[i];
+        off += take;
+        ++counter;
+    }
+    return counter;
+}
+
+} // namespace ih

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SHA-256 and HMAC-SHA-256, implemented from scratch (FIPS 180-4 /
+ * RFC 2104). Used by the secure kernel for enclave measurement and
+ * signature (MAC) verification during attestation, and available to
+ * workloads.
+ */
+
+#ifndef IH_CRYPTO_SHA256_HH
+#define IH_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ih
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    using Digest = std::array<std::uint8_t, 32>;
+
+    Sha256();
+
+    /** Restart a fresh hash. */
+    void reset();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the digest; the object must be reset() after. */
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest hash(const void *data, std::size_t len);
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::uint32_t state_[8];
+    std::uint8_t buffer_[64];
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bits_ = 0;
+};
+
+/** HMAC-SHA-256 over @p msg with @p key. */
+Sha256::Digest hmacSha256(const void *key, std::size_t key_len,
+                          const void *msg, std::size_t msg_len);
+
+} // namespace ih
+
+#endif // IH_CRYPTO_SHA256_HH

@@ -1,0 +1,98 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    IH_ASSERT(cells.size() == headers_.size(),
+              "row width %zu != header width %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({});
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += "  ";
+            // Right-align numbers, left-align the first column.
+            const std::string &cell = row[c];
+            const std::size_t pad = width[c] - cell.size();
+            if (c == 0) {
+                out += cell + std::string(pad, ' ');
+            } else {
+                out += std::string(pad, ' ') + cell;
+            }
+        }
+        out += "\n";
+        return out;
+    };
+
+    std::string out = render_row(headers_);
+    std::size_t total = 2;
+    for (auto w : width)
+        total += w + 2;
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += std::string(total, '-') + "\n";
+        else
+            out += render_row(row);
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    return strprintf("%.*f%%", precision, v * 100.0);
+}
+
+void
+printBanner(const std::string &experiment_id,
+            const std::string &description)
+{
+    std::printf("\n=== %s ===\n%s\n\n", experiment_id.c_str(),
+                description.c_str());
+}
+
+} // namespace ih

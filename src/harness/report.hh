@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text reporting: fixed-width tables, normalization helpers and
+ * geomean rows, shared by every bench binary so the regenerated figures
+ * all read the same way.
+ */
+
+#ifndef IH_HARNESS_REPORT_HH
+#define IH_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace ih
+{
+
+/** Fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void addSeparator();
+
+    /** Render with column auto-sizing. */
+    std::string toString() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a bench banner with the figure/table being regenerated. */
+void printBanner(const std::string &experiment_id,
+                 const std::string &description);
+
+} // namespace ih
+
+#endif // IH_HARNESS_REPORT_HH

@@ -1,0 +1,186 @@
+#include "mem/cache.hh"
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+Cache::Cache(std::string name, unsigned size_bytes, unsigned assoc,
+             unsigned line_bytes, const std::string &repl,
+             std::uint64_t seed)
+    : name_(std::move(name)), assoc_(assoc), lineBytes_(line_bytes),
+      lineMask_(line_bytes - 1), stats_(name_)
+{
+    IH_ASSERT(line_bytes != 0 && (line_bytes & (line_bytes - 1)) == 0,
+              "line size must be a power of two");
+    IH_ASSERT(assoc != 0, "associativity must be nonzero");
+    IH_ASSERT(size_bytes % (line_bytes * assoc) == 0,
+              "capacity does not divide into sets");
+    numSets_ = size_bytes / (line_bytes * assoc);
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    repl_ = ReplacementPolicy::create(repl, numSets_, assoc_, seed);
+}
+
+unsigned
+Cache::setOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / lineBytes_) % numSets_);
+}
+
+CacheLine &
+Cache::lineAt(unsigned set, unsigned way)
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+const CacheLine &
+Cache::lineAt(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+CacheLine *
+Cache::lookup(Addr addr)
+{
+    const Addr la = lineAddrOf(addr);
+    const unsigned set = setOf(la);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        if (line.valid && line.lineAddr == la) {
+            repl_->touch(set, w);
+            stats_.counter("hits").inc();
+            return &line;
+        }
+    }
+    stats_.counter("misses").inc();
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr addr) const
+{
+    const Addr la = addr & ~lineMask_;
+    const unsigned set = static_cast<unsigned>((la / lineBytes_) % numSets_);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const CacheLine &line = lineAt(set, w);
+        if (line.valid && line.lineAddr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::findLine(Addr addr)
+{
+    const Addr la = lineAddrOf(addr);
+    const unsigned set = setOf(la);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        if (line.valid && line.lineAddr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+Eviction
+Cache::insert(Addr addr, ProcId owner, Domain domain)
+{
+    const Addr la = lineAddrOf(addr);
+    const unsigned set = setOf(la);
+
+    Eviction ev;
+    unsigned way = assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        IH_ASSERT(!(line.valid && line.lineAddr == la),
+                  "insert of already-present line %#llx",
+                  static_cast<unsigned long long>(la));
+        if (!line.valid && way == assoc_)
+            way = w;
+    }
+    if (way == assoc_) {
+        way = repl_->victim(set);
+        CacheLine &victim = lineAt(set, way);
+        ev.happened = true;
+        ev.victim = victim;
+        stats_.counter("evictions").inc();
+        if (victim.dirty)
+            stats_.counter("dirty_evictions").inc();
+    }
+
+    CacheLine &line = lineAt(set, way);
+    line.lineAddr = la;
+    line.valid = true;
+    line.dirty = false;
+    line.writable = false;
+    line.sharers = 0;
+    line.ownerProc = owner;
+    line.ownerDomain = domain;
+    repl_->touch(set, way);
+    stats_.counter("fills").inc();
+    return ev;
+}
+
+std::optional<CacheLine>
+Cache::invalidateLine(Addr addr)
+{
+    const Addr la = lineAddrOf(addr);
+    const unsigned set = setOf(la);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        if (line.valid && line.lineAddr == la) {
+            CacheLine copy = line;
+            line.valid = false;
+            stats_.counter("invalidations").inc();
+            return copy;
+        }
+    }
+    return std::nullopt;
+}
+
+unsigned
+Cache::flushAll(const std::function<void(const CacheLine &)> &on_dirty)
+{
+    unsigned flushed = 0;
+    for (auto &line : lines_) {
+        if (!line.valid)
+            continue;
+        ++flushed;
+        if (line.dirty && on_dirty)
+            on_dirty(line);
+        line.valid = false;
+    }
+    repl_->reset();
+    stats_.counter("flushes").inc();
+    stats_.counter("flushed_lines").inc(flushed);
+    return flushed;
+}
+
+unsigned
+Cache::validLines() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+unsigned
+Cache::validLinesOf(Domain domain) const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        n += (line.valid && line.ownerDomain == domain) ? 1 : 0;
+    return n;
+}
+
+void
+Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &line : lines_) {
+        if (line.valid)
+            fn(line);
+    }
+}
+
+} // namespace ih

@@ -1,0 +1,12 @@
+// Directory is header-only (static helpers); this translation unit exists
+// so the module shows up as a library member and keeps a home for any
+// future stateful directory extensions.
+#include "mem/directory.hh"
+
+namespace ih
+{
+
+static_assert(Directory::MAX_CORES == 64,
+              "sharer masks are 64-bit; wider machines need a wider mask");
+
+} // namespace ih

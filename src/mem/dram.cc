@@ -1,0 +1,45 @@
+#include "mem/dram.hh"
+
+namespace ih
+{
+
+Dram::Dram(std::string name, const SysConfig &cfg)
+    : cfg_(cfg), openRow_(NUM_BANKS, -1), stats_(std::move(name))
+{
+}
+
+unsigned
+Dram::bankOf(Addr pa)
+{
+    return static_cast<unsigned>((pa / ROW_BYTES) % NUM_BANKS);
+}
+
+std::uint64_t
+Dram::rowOf(Addr pa)
+{
+    return pa / (ROW_BYTES * NUM_BANKS);
+}
+
+Cycle
+Dram::access(Addr pa)
+{
+    const unsigned bank = bankOf(pa);
+    const auto row = static_cast<std::int64_t>(rowOf(pa));
+    if (openRow_[bank] == row) {
+        stats_.counter("row_hits").inc();
+        return cfg_.dramRowHitLatency;
+    }
+    stats_.counter("row_misses").inc();
+    openRow_[bank] = row;
+    return cfg_.dramLatency;
+}
+
+void
+Dram::closeAllRows()
+{
+    for (auto &r : openRow_)
+        r = -1;
+    stats_.counter("row_purges").inc();
+}
+
+} // namespace ih

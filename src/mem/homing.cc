@@ -1,0 +1,26 @@
+#include "mem/homing.hh"
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+CoreId
+Homing::hashHome(Addr line_addr, const std::vector<CoreId> &slices)
+{
+    IH_ASSERT(!slices.empty(), "hashHome with no candidate slices");
+    std::uint64_t z = line_addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return slices[z % slices.size()];
+}
+
+CoreId
+Homing::localHome(std::uint64_t page_seq, const std::vector<CoreId> &slices)
+{
+    IH_ASSERT(!slices.empty(), "localHome with no candidate slices");
+    return slices[page_seq % slices.size()];
+}
+
+} // namespace ih

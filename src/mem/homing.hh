@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared-cache homing policies.
+ *
+ * The distributed L2 is a collection of per-tile slices; the *home* of a
+ * physical line is the slice responsible for it (and for its directory
+ * entry). Two policies are modelled, matching the Tile-Gx options the
+ * paper uses:
+ *
+ *  - HASH_FOR_HOMING: default Tilera policy; lines are hash-interleaved
+ *    across every allowed slice. Great for load balance, but a process's
+ *    footprint spreads over all slices, so it cannot provide isolation.
+ *  - LOCAL_HOMING:    each *page* is homed on a single slice chosen at
+ *    allocation time (tmc_alloc_set_home). MI6 and IRONHIDE use this to
+ *    confine each process's data to its own slice partition, and
+ *    IRONHIDE's dynamic reconfiguration re-homes pages when slices move
+ *    between clusters (tmc_alloc_unmap / set_home / remap).
+ */
+
+#ifndef IH_MEM_HOMING_HH
+#define IH_MEM_HOMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ih
+{
+
+/** Homing policy selector. */
+enum class HomingMode : std::uint8_t
+{
+    HASH_FOR_HOMING = 0,
+    LOCAL_HOMING = 1,
+};
+
+/**
+ * Stateless helpers for hash homing; local homing state lives in the
+ * page table (each page records its home slice).
+ */
+class Homing
+{
+  public:
+    /**
+     * Hash-for-homing: pick the home slice of the line at @p line_addr
+     * among @p slices (must be non-empty). Uses a splitmix-style hash so
+     * neighbouring lines scatter.
+     */
+    static CoreId hashHome(Addr line_addr,
+                           const std::vector<CoreId> &slices);
+
+    /**
+     * Local homing choice at allocation time: round-robin over
+     * @p slices using the page ordinal @p page_seq.
+     */
+    static CoreId localHome(std::uint64_t page_seq,
+                            const std::vector<CoreId> &slices);
+};
+
+} // namespace ih
+
+#endif // IH_MEM_HOMING_HH

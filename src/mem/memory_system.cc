@@ -1,0 +1,344 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "mem/directory.hh"
+#include "sim/log.hh"
+
+namespace ih
+{
+
+MemorySystem::MemorySystem(const SysConfig &cfg, const Topology &topo,
+                           Network &net)
+    : cfg_(cfg), topo_(topo), net_(net), alloc_(cfg), stats_("mem")
+{
+    const unsigned tiles = topo.numTiles();
+    IH_ASSERT(tiles <= Directory::MAX_CORES,
+              "machine wider than the 64-bit sharer mask");
+    l1s_.reserve(tiles);
+    l2s_.reserve(tiles);
+    tlbs_.reserve(tiles);
+    for (unsigned t = 0; t < tiles; ++t) {
+        l1s_.push_back(std::make_unique<Cache>(
+            strprintf("l1.%u", t), cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes,
+            "lru", cfg.seed + t));
+        l2s_.push_back(std::make_unique<Cache>(
+            strprintf("l2.%u", t), cfg.l2SliceBytes, cfg.l2Assoc,
+            cfg.lineBytes, "lru", cfg.seed + 1000 + t));
+        tlbs_.push_back(std::make_unique<Tlb>(strprintf("tlb.%u", t),
+                                              cfg.tlbEntries,
+                                              cfg.pageBytes));
+        allSlices_.push_back(t);
+    }
+    for (McId m = 0; m < cfg.numMcs; ++m)
+        mcs_.push_back(std::make_unique<MemController>(m, cfg));
+    // Default: regions interleave over all controllers (insecure/SGX).
+    regionMc_.resize(cfg.numRegions);
+    for (RegionId r = 0; r < cfg.numRegions; ++r)
+        regionMc_[r] = r % cfg.numMcs;
+    // 16-byte flits: a 64-byte line is 4 data flits + 1 header.
+    dataFlits_ = cfg.lineBytes / 16 + 1;
+}
+
+void
+MemorySystem::setRegionController(RegionId region, McId mc)
+{
+    IH_ASSERT(region < regionMc_.size(), "region %u out of range", region);
+    IH_ASSERT(mc < mcs_.size(), "mc %u out of range", mc);
+    regionMc_[region] = mc;
+}
+
+McId
+MemorySystem::regionController(RegionId region) const
+{
+    IH_ASSERT(region < regionMc_.size(), "region %u out of range", region);
+    return regionMc_[region];
+}
+
+void
+MemorySystem::noteHome(const AddressSpace &space, const PageInfo &info)
+{
+    if (space.homingMode() == HomingMode::LOCAL_HOMING)
+        localHomeByPpage_[info.ppage] = info.homeSlice;
+    else
+        localHomeByPpage_.erase(info.ppage);
+}
+
+CoreId
+MemorySystem::homeOfPhys(Addr pa) const
+{
+    const Addr ppage = pa & ~static_cast<Addr>(cfg_.pageBytes - 1);
+    auto it = localHomeByPpage_.find(ppage);
+    if (it != localHomeByPpage_.end())
+        return it->second;
+    const Addr line = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    return Homing::hashHome(line, allSlices_);
+}
+
+Cycle
+MemorySystem::invalidateSharers(CacheLine &l2_line, CoreId except,
+                                CoreId home, Cycle when,
+                                const ClusterRange &cluster)
+{
+    Cycle done = when;
+    std::uint64_t mask = l2_line.sharers;
+    Directory::forEachSharer(mask, [&](CoreId sharer) {
+        if (sharer == except)
+            return;
+        auto dropped = l1s_[sharer]->invalidateLine(l2_line.lineAddr);
+        if (dropped && dropped->dirty)
+            l2_line.dirty = true; // data folded back into the home slice
+        // Invalidation round trip home -> sharer -> home (ack).
+        const Cycle t = net_.roundTrip(home, sharer, when, 1, 1, cluster);
+        done = std::max(done, t);
+        stats_.counter("invalidations_sent").inc();
+    });
+    l2_line.sharers = except == INVALID_CORE
+                          ? 0
+                          : (l2_line.sharers & Directory::bit(except));
+    return done;
+}
+
+void
+MemorySystem::writebackVictim(const CacheLine &victim, Cycle when)
+{
+    stats_.counter("l1_writebacks").inc();
+    const CoreId home = homeOfPhys(victim.lineAddr);
+    if (CacheLine *l2_line = l2s_[home]->findLine(victim.lineAddr)) {
+        l2_line->dirty = true;
+    } else {
+        // Home no longer caches the line (e.g. it was purged/re-homed):
+        // the writeback flows through to the controller.
+        const RegionId region = regionOf(victim.lineAddr);
+        mcs_[regionMc_[region]]->acceptWrite(victim.lineAddr, when);
+    }
+}
+
+void
+MemorySystem::handleL2Eviction(const CacheLine &victim, Cycle when)
+{
+    stats_.counter("l2_evictions").inc();
+    bool dirty = victim.dirty;
+    // Inclusive hierarchy: back-invalidate every L1 copy.
+    Directory::forEachSharer(victim.sharers, [&](CoreId sharer) {
+        if (sharer >= l1s_.size())
+            return;
+        auto dropped = l1s_[sharer]->invalidateLine(victim.lineAddr);
+        if (dropped && dropped->dirty)
+            dirty = true;
+        stats_.counter("back_invalidations").inc();
+    });
+    if (dirty) {
+        const RegionId region = regionOf(victim.lineAddr);
+        mcs_[regionMc_[region]]->acceptWrite(victim.lineAddr, when);
+    }
+}
+
+Cycle
+MemorySystem::upgradeLine(CoreId core, Addr line_pa, CoreId home,
+                          Cycle when, const ClusterRange &cluster)
+{
+    stats_.counter("upgrades").inc();
+    // Request permission from the home (1 flit each way).
+    Cycle t = net_.traverse(core, home, when, 1, cluster);
+    t += cfg_.l2Latency;
+    if (CacheLine *l2_line = l2s_[home]->findLine(line_pa)) {
+        t = invalidateSharers(*l2_line, core, home, t, cluster);
+        l2_line->sharers = Directory::bit(core);
+    }
+    return net_.traverse(home, core, t, 1, cluster);
+}
+
+AccessResult
+MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
+                     Cycle when, const ClusterRange &cluster)
+{
+    IH_ASSERT(core < l1s_.size(), "access from core %u out of range", core);
+    AccessResult res;
+    Cycle t = when;
+    stats_.counter("accesses").inc();
+
+    // ---- Translation ----------------------------------------------------
+    const ProcId proc = space.proc();
+    const PageInfo &info = space.ensureMapped(va);
+    noteHome(space, info);
+    TlbEntry *te = tlbs_[core]->lookup(va, proc);
+    if (!te) {
+        res.tlbHit = false;
+        t += cfg_.tlbMissLatency; // page walk
+        tlbs_[core]->insert(va, info.ppage, proc, space.domain());
+        stats_.counter("tlb_misses").inc();
+    }
+    const Addr pa = info.ppage + (va & (cfg_.pageBytes - 1));
+    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+
+    // ---- Hardware region access check ------------------------------------
+    const RegionId region = regionOf(pa);
+    if (checker_ && !checker_(space.domain(), region)) {
+        stats_.counter("blocked_accesses").inc();
+        res.blocked = true;
+        // The request stalls until resolution and is then discarded; the
+        // protection fault costs a pipeline-flush-like penalty.
+        res.finish = t + cfg_.pipelineFlushCycles;
+        return res;
+    }
+
+    // ---- L1 ---------------------------------------------------------------
+    t += cfg_.l1Latency;
+    stats_.counter("l1_accesses").inc();
+    if (CacheLine *line = l1s_[core]->lookup(pa)) {
+        res.l1Hit = true;
+        if (op == MemOp::STORE) {
+            if (!line->writable) {
+                const CoreId home = space.homeOf(va);
+                t = upgradeLine(core, line_pa, home, t, cluster);
+                line->writable = true;
+            }
+            line->dirty = true;
+        }
+        res.finish = t;
+        return res;
+    }
+    stats_.counter("l1_misses").inc();
+
+    // ---- L2 home ----------------------------------------------------------
+    const CoreId home = space.homeOf(va);
+    t = net_.traverse(core, home, t, 1, cluster);
+    t += cfg_.l2Latency;
+    stats_.counter("l2_accesses").inc();
+
+    CacheLine *l2_line = l2s_[home]->lookup(pa);
+    if (!l2_line) {
+        stats_.counter("l2_misses").inc();
+        // ---- Memory controller / DRAM ------------------------------------
+        const McId mc_id = regionMc_[region];
+        const CoreId mc_tile = topo_.mcAttachTile(mc_id);
+        Cycle tm = net_.traverse(home, mc_tile, t, 1, cluster);
+        tm += cfg_.hopLatency; // dedicated MC attachment link
+        tm = mcs_[mc_id]->serviceRead(pa, tm, space.domain());
+        tm += cfg_.hopLatency;
+        t = net_.traverse(mc_tile, home, tm, dataFlits_, cluster);
+
+        const Eviction ev = l2s_[home]->insert(pa, proc, space.domain());
+        if (ev.happened)
+            handleL2Eviction(ev.victim, t);
+        l2_line = l2s_[home]->findLine(pa);
+        IH_ASSERT(l2_line, "L2 line vanished after insert");
+    } else {
+        res.l2Hit = true;
+        // Another L1 may own the line dirty; fetch/forward it.
+        if (l2_line->sharers != 0 &&
+            !Directory::soleSharer(l2_line->sharers, core)) {
+            Cycle fwd = t;
+            Directory::forEachSharer(l2_line->sharers, [&](CoreId sharer) {
+                if (sharer == core)
+                    return;
+                CacheLine *sl = l1s_[sharer]->findLine(l2_line->lineAddr);
+                if (sl && sl->dirty) {
+                    // Home -> owner -> home forwarding round.
+                    fwd = std::max(fwd, net_.roundTrip(home, sharer, t, 1,
+                                                       dataFlits_,
+                                                       cluster));
+                    sl->dirty = false;
+                    sl->writable = false;
+                    l2_line->dirty = true;
+                    stats_.counter("dirty_forwards").inc();
+                }
+            });
+            t = fwd;
+        }
+    }
+
+    // ---- Coherence action for the requested op ----------------------------
+    if (op == MemOp::STORE)
+        t = invalidateSharers(*l2_line, core, home, t, cluster);
+    l2_line->sharers = Directory::addSharer(l2_line->sharers, core);
+
+    // ---- Fill L1 -----------------------------------------------------------
+    const Eviction l1_ev = l1s_[core]->insert(pa, proc, space.domain());
+    if (l1_ev.happened && l1_ev.victim.dirty)
+        writebackVictim(l1_ev.victim, t);
+    if (l1_ev.happened) {
+        // Keep the directory honest: drop the victim's sharer bit.
+        const CoreId vhome = homeOfPhys(l1_ev.victim.lineAddr);
+        if (CacheLine *vl = l2s_[vhome]->findLine(l1_ev.victim.lineAddr))
+            vl->sharers = Directory::removeSharer(vl->sharers, core);
+    }
+    CacheLine *l1_line = l1s_[core]->findLine(pa);
+    IH_ASSERT(l1_line, "L1 line vanished after insert");
+    l1_line->writable = (op == MemOp::STORE);
+    l1_line->dirty = (op == MemOp::STORE);
+
+    // ---- Data response ------------------------------------------------------
+    t = net_.traverse(home, core, t, dataFlits_, cluster);
+    res.finish = t;
+    return res;
+}
+
+Cycle
+MemorySystem::purgePrivate(const std::vector<CoreId> &cores, Cycle when)
+{
+    Cycle done = when;
+    for (CoreId core : cores) {
+        IH_ASSERT(core < l1s_.size(), "purge of core %u out of range", core);
+        // Flush-and-invalidate by reading a dummy buffer of L1 size; all
+        // dirty lines propagate to their home L2 slice first.
+        l1s_[core]->flushAll([&](const CacheLine &line) {
+            writebackVictim(line, when);
+        });
+        const unsigned tlb_entries = tlbs_[core]->capacity();
+        tlbs_[core]->flushAll();
+        const Cycle cost =
+            static_cast<Cycle>(l1s_[core]->capacityLines()) *
+                cfg_.l1PurgePerLine +
+            static_cast<Cycle>(tlb_entries) * cfg_.tlbPurgePerEntry;
+        done = std::max(done, when + cost); // cores purge in parallel
+        stats_.counter("private_purges").inc();
+    }
+    stats_.counter("purge_cycles").inc(done - when);
+    return done;
+}
+
+Cycle
+MemorySystem::drainControllers(const std::vector<McId> &mcs, Cycle when)
+{
+    Cycle done = when;
+    for (McId m : mcs) {
+        IH_ASSERT(m < mcs_.size(), "drain of mc %u out of range", m);
+        done = std::max(done, mcs_[m]->drain(when));
+    }
+    return done;
+}
+
+std::uint64_t
+MemorySystem::rehomePages(AddressSpace &space,
+                          const std::vector<CoreId> &new_slices)
+{
+    const std::uint64_t moved = space.rehomeAll(new_slices);
+    // Scrub this space's lines from every slice it no longer homes on
+    // (back-invalidating L1 copies, writing dirty data to DRAM). Lines
+    // on surviving slices stay valid: their pages kept their home.
+    for (CoreId s = 0; s < l2s_.size(); ++s) {
+        if (std::find(new_slices.begin(), new_slices.end(), s) !=
+            new_slices.end()) {
+            continue;
+        }
+        auto &slice = l2s_[s];
+        std::vector<Addr> to_drop;
+        slice->forEachLine([&](CacheLine &line) {
+            if (line.ownerProc == space.proc())
+                to_drop.push_back(line.lineAddr);
+        });
+        for (Addr a : to_drop) {
+            auto dropped = slice->invalidateLine(a);
+            if (dropped)
+                handleL2Eviction(*dropped, 0);
+        }
+    }
+    // The ppage -> home map refreshes lazily via noteHome on the next
+    // access to each page.
+    stats_.counter("rehomed_pages").inc(moved);
+    return moved;
+}
+
+} // namespace ih

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The full memory hierarchy of the simulated multicore, and the single
+ * entry point (access()) through which cores issue memory operations.
+ *
+ * Topology per tile: private L1D + private TLB, plus one shared L2 slice
+ * homed at the tile. L2 misses travel over the mesh to the memory
+ * controller owning the line's DRAM region. Coherence is MSI with the
+ * home L2 line acting as the directory entry; all protocol latencies
+ * (invalidation rounds, dirty forwarding, writebacks) are charged to the
+ * requesting access.
+ *
+ * Security hooks:
+ *  - an access checker installed by the active security model vets every
+ *    request against the DRAM-region ownership map (the hardware check
+ *    that defuses speculative-state attacks in MI6/IRONHIDE);
+ *  - purge operations (purgePrivate, drainControllers) implement the
+ *    strong-isolation state scrubbing, *functionally* erasing state so
+ *    locality loss is emergent;
+ *  - rehomePages implements IRONHIDE's dynamic L2 re-allocation.
+ */
+
+#ifndef IH_MEM_MEMORY_SYSTEM_HH
+#define IH_MEM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/mem_controller.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+#include "noc/network.hh"
+#include "sim/config.hh"
+
+namespace ih
+{
+
+/** Outcome of one memory access, for stats and tests. */
+struct AccessResult
+{
+    Cycle finish = 0;     ///< completion time of the access
+    bool tlbHit = true;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool blocked = false; ///< rejected by the security access check
+};
+
+/**
+ * Per-access security check: may the given domain touch a line homed in
+ * @p region? Installed by the active security model.
+ */
+using AccessChecker = std::function<bool(Domain requester, RegionId region)>;
+
+/** The machine's cache/TLB/DRAM hierarchy. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const SysConfig &cfg, const Topology &topo, Network &net);
+
+    /**
+     * Issue one memory operation.
+     *
+     * @param core    issuing tile
+     * @param space   address space of the issuing process
+     * @param va      virtual address
+     * @param op      LOAD / STORE / IFETCH
+     * @param when    issue time
+     * @param cluster cluster range whose routing rules the traffic obeys
+     */
+    AccessResult access(CoreId core, AddressSpace &space, VAddr va,
+                        MemOp op, Cycle when, const ClusterRange &cluster);
+
+    // --- Security / reconfiguration operations --------------------------
+
+    /** Install (or clear) the per-access region checker. */
+    void setAccessChecker(AccessChecker checker)
+    {
+        checker_ = std::move(checker);
+    }
+
+    /**
+     * Flush-and-invalidate the private L1 and TLB of every core in
+     * @p cores, starting at @p when; purges run in parallel across
+     * cores. @return completion time.
+     */
+    Cycle purgePrivate(const std::vector<CoreId> &cores, Cycle when);
+
+    /** Drain the queues/buffers of the given controllers (parallel). */
+    Cycle drainControllers(const std::vector<McId> &mcs, Cycle when);
+
+    /**
+     * Re-home every page of @p space onto @p new_slices and invalidate
+     * the moved lines from their old L2 homes (IRONHIDE reconfiguration).
+     * @return number of pages whose home changed.
+     */
+    std::uint64_t rehomePages(AddressSpace &space,
+                              const std::vector<CoreId> &new_slices);
+
+    /** Map DRAM region @p region to controller @p mc. */
+    void setRegionController(RegionId region, McId mc);
+
+    /** Controller currently serving @p region. */
+    McId regionController(RegionId region) const;
+
+    // --- Component access ------------------------------------------------
+
+    Cache &l1(CoreId core) { return *l1s_[core]; }
+    Cache &l2(CoreId slice) { return *l2s_[slice]; }
+    Tlb &tlb(CoreId core) { return *tlbs_[core]; }
+    MemController &mc(McId id) { return *mcs_[id]; }
+    PhysAllocator &allocator() { return alloc_; }
+    unsigned numTiles() const { return static_cast<unsigned>(l1s_.size()); }
+    unsigned numMcs() const { return static_cast<unsigned>(mcs_.size()); }
+
+    /** Aggregate stats over all of a domain's traffic. */
+    StatGroup &stats() { return stats_; }
+
+    /** Home slice of the *physical* line at @p pa (for writebacks). */
+    CoreId homeOfPhys(Addr pa) const;
+
+    /** Count of accesses rejected by the checker. */
+    std::uint64_t blockedAccesses() const
+    {
+        return stats_.value("blocked_accesses");
+    }
+
+  private:
+    /** Handle an L1 store hit on a non-writable (shared) line. */
+    Cycle upgradeLine(CoreId core, Addr line_pa, CoreId home, Cycle when,
+                      const ClusterRange &cluster);
+
+    /** Invalidate every other L1 copy recorded for @p l2_line. */
+    Cycle invalidateSharers(CacheLine &l2_line, CoreId except, CoreId home,
+                            Cycle when, const ClusterRange &cluster);
+
+    /** Write back a dirty L1 victim into its home L2 / controller. */
+    void writebackVictim(const CacheLine &victim, Cycle when);
+
+    /** Handle an eviction from an L2 slice (back-invalidation). */
+    void handleL2Eviction(const CacheLine &victim, Cycle when);
+
+    /** Record the homing information of @p info's page. */
+    void noteHome(const AddressSpace &space, const PageInfo &info);
+
+    const SysConfig &cfg_;
+    const Topology &topo_;
+    Network &net_;
+    PhysAllocator alloc_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::unique_ptr<MemController>> mcs_;
+    std::vector<McId> regionMc_;
+    /** ppage -> (LOCAL home slice) or absent for hash-homed pages. */
+    std::unordered_map<Addr, CoreId> localHomeByPpage_;
+    std::vector<CoreId> allSlices_;
+    AccessChecker checker_;
+    StatGroup stats_;
+    unsigned dataFlits_;
+};
+
+} // namespace ih
+
+#endif // IH_MEM_MEMORY_SYSTEM_HH

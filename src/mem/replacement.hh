@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures. A policy instance
+ * manages the metadata of every set of one cache; ways are identified by
+ * (set, way) pairs. Policies are deliberately stateless about tags so the
+ * cache model owns all tag/valid bookkeeping.
+ */
+
+#ifndef IH_MEM_REPLACEMENT_HH
+#define IH_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace ih
+{
+
+/** Abstract replacement policy over a (numSets x assoc) structure. */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(unsigned num_sets, unsigned assoc)
+        : numSets_(num_sets), assoc_(assoc)
+    {
+    }
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a hit/fill touch of @p way in @p set. */
+    virtual void touch(unsigned set, unsigned way) = 0;
+
+    /** Choose the victim way in @p set (all ways valid). */
+    virtual unsigned victim(unsigned set) = 0;
+
+    /** Forget everything (e.g. after a purge). */
+    virtual void reset() = 0;
+
+    virtual const char *name() const = 0;
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Factory: @p kind is one of "lru", "plru", "random". */
+    static std::unique_ptr<ReplacementPolicy>
+    create(const std::string &kind, unsigned num_sets, unsigned assoc,
+           std::uint64_t seed = 1);
+
+  protected:
+    unsigned numSets_;
+    unsigned assoc_;
+};
+
+/** True LRU via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(unsigned num_sets, unsigned assoc);
+
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    void reset() override;
+    const char *name() const override { return "lru"; }
+
+  private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t tick_ = 0;
+};
+
+/** Tree pseudo-LRU (assoc rounded up to a power of two internally). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(unsigned num_sets, unsigned assoc);
+
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    void reset() override;
+    const char *name() const override { return "plru"; }
+
+  private:
+    unsigned treeSlots_;
+    std::vector<std::uint8_t> bits_;
+};
+
+/** Random replacement (deterministic given the seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned num_sets, unsigned assoc, std::uint64_t seed);
+
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    void reset() override;
+    const char *name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace ih
+
+#endif // IH_MEM_REPLACEMENT_HH

@@ -1,0 +1,95 @@
+#include "mem/tlb.hh"
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+Tlb::Tlb(std::string name, unsigned entries, unsigned page_bytes)
+    : entries_(entries), pageMask_(page_bytes - 1), stats_(std::move(name))
+{
+    IH_ASSERT(entries > 0, "TLB must have at least one entry");
+    IH_ASSERT((page_bytes & (page_bytes - 1)) == 0,
+              "page size must be a power of two");
+}
+
+TlbEntry *
+Tlb::lookup(VAddr vaddr, ProcId proc)
+{
+    const VAddr vp = vpageOf(vaddr);
+    for (auto &e : entries_) {
+        if (e.valid && e.vpage == vp && e.proc == proc) {
+            e.stamp = ++tick_;
+            stats_.counter("hits").inc();
+            return &e;
+        }
+    }
+    stats_.counter("misses").inc();
+    return nullptr;
+}
+
+void
+Tlb::insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain)
+{
+    const VAddr vp = vpageOf(vaddr);
+    TlbEntry *slot = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            slot = &e;
+            break;
+        }
+    }
+    if (!slot) {
+        slot = &entries_[0];
+        for (auto &e : entries_) {
+            if (e.stamp < slot->stamp)
+                slot = &e;
+        }
+        stats_.counter("evictions").inc();
+    }
+    slot->vpage = vp;
+    slot->ppage = ppage;
+    slot->proc = proc;
+    slot->domain = domain;
+    slot->valid = true;
+    slot->stamp = ++tick_;
+    stats_.counter("fills").inc();
+}
+
+unsigned
+Tlb::flushAll()
+{
+    unsigned n = 0;
+    for (auto &e : entries_) {
+        n += e.valid ? 1 : 0;
+        e.valid = false;
+    }
+    stats_.counter("flushes").inc();
+    stats_.counter("flushed_entries").inc(n);
+    return n;
+}
+
+unsigned
+Tlb::flushProc(ProcId proc)
+{
+    unsigned n = 0;
+    for (auto &e : entries_) {
+        if (e.valid && e.proc == proc) {
+            e.valid = false;
+            ++n;
+        }
+    }
+    stats_.counter("flushed_entries").inc(n);
+    return n;
+}
+
+unsigned
+Tlb::validEntriesOf(Domain domain) const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += (e.valid && e.domain == domain) ? 1 : 0;
+    return n;
+}
+
+} // namespace ih

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-core translation lookaside buffer. Fully associative with true LRU,
+ * tracking the owning process of each entry so purges and the
+ * purge-completeness property tests can reason about which state belongs
+ * to which security domain.
+ */
+
+#ifndef IH_MEM_TLB_HH
+#define IH_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ih
+{
+
+/** One TLB entry (virtual page -> physical page for one process). */
+struct TlbEntry
+{
+    VAddr vpage = 0;
+    Addr ppage = 0;
+    ProcId proc = INVALID_PROC;
+    Domain domain = Domain::INSECURE;
+    bool valid = false;
+    std::uint64_t stamp = 0;
+};
+
+/** Fully associative, LRU TLB. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, unsigned entries, unsigned page_bytes);
+
+    /** Look up the translation of @p vaddr for @p proc. */
+    TlbEntry *lookup(VAddr vaddr, ProcId proc);
+
+    /** Install a translation, evicting LRU if full. */
+    void insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain);
+
+    /** Invalidate everything. @return number of entries dropped. */
+    unsigned flushAll();
+
+    /** Invalidate entries of one process. @return entries dropped. */
+    unsigned flushProc(ProcId proc);
+
+    /** Count valid entries belonging to @p domain. */
+    unsigned validEntriesOf(Domain domain) const;
+
+    unsigned capacity() const { return static_cast<unsigned>(
+        entries_.size()); }
+
+    std::uint64_t hits() const { return stats_.value("hits"); }
+    std::uint64_t misses() const { return stats_.value("misses"); }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    VAddr vpageOf(VAddr vaddr) const { return vaddr & ~pageMask_; }
+
+    std::vector<TlbEntry> entries_;
+    VAddr pageMask_;
+    std::uint64_t tick_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace ih
+
+#endif // IH_MEM_TLB_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Timing and isolation accounting for the 2-D mesh network.
+ *
+ * The network charges a fixed per-hop latency plus contention: each
+ * directed link keeps a next-free-time and packets reserve the links on
+ * their path in order. Because the execution engine always advances the
+ * globally earliest thread, reservations are made in (approximately)
+ * global time order, which makes this classic analytic contention model
+ * consistent.
+ *
+ * The network also owns the isolation bookkeeping: every traversal is
+ * checked against the active cluster map and any route that leaves its
+ * cluster is counted as an isolation violation (the property tests
+ * require this counter to stay zero for IRONHIDE configurations).
+ */
+
+#ifndef IH_NOC_NETWORK_HH
+#define IH_NOC_NETWORK_HH
+
+#include <vector>
+
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+#include "sim/stats.hh"
+
+namespace ih
+{
+
+/** Mesh network timing model with cluster-isolation accounting. */
+class Network
+{
+  public:
+    Network(const SysConfig &cfg, const Topology &topo);
+
+    /**
+     * Send a packet of @p flits flits from tile @p src to tile @p dst,
+     * injected at time @p when, using dimension order chosen for
+     * @p cluster (pass the full-machine range when clustering is off).
+     *
+     * @return arrival time at @p dst.
+     */
+    Cycle traverse(CoreId src, CoreId dst, Cycle when, unsigned flits,
+                   const ClusterRange &cluster);
+
+    /** Round trip: request of @p req_flits then reply of @p rsp_flits. */
+    Cycle roundTrip(CoreId a, CoreId b, Cycle when, unsigned req_flits,
+                    unsigned rsp_flits, const ClusterRange &cluster);
+
+    /** Latency (no state update) of a one-way traversal without load. */
+    Cycle unloadedLatency(CoreId src, CoreId dst) const;
+
+    /** Reset all link reservations (used between experiment phases). */
+    void resetLinkState();
+
+    /** Cluster range covering the whole machine (no isolation). */
+    ClusterRange wholeMachine() const;
+
+    const Router &router() const { return router_; }
+    StatGroup &stats() { return stats_; }
+    std::uint64_t isolationViolations() const
+    {
+        return stats_.value("isolation_violations");
+    }
+
+  private:
+    /** Directed link index from tile @p from to adjacent tile @p to. */
+    std::size_t linkIndex(CoreId from, CoreId to) const;
+
+    const SysConfig &cfg_;
+    const Topology &topo_;
+    Router router_;
+    /** next-free-time per directed link (4 per tile). */
+    std::vector<Cycle> link_free_;
+    StatGroup stats_;
+};
+
+} // namespace ih
+
+#endif // IH_NOC_NETWORK_HH

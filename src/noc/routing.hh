@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic dimension-ordered routing on the 2-D mesh.
+ *
+ * The mesh supports bidirectional dimension-ordered routing: every packet
+ * is routed either X-then-Y or Y-then-X, selected per packet by a
+ * deterministic policy. Strong isolation of on-chip traffic relies on
+ * this: with clusters allocated as a row-major prefix (secure) / suffix
+ * (insecure) of the tile space, choosing Y-X for packets *sourced in the
+ * cluster's boundary (partially owned) row* and X-Y otherwise guarantees
+ * every intra-cluster route stays on routers owned by that cluster
+ * (IRONHIDE paper, Section III-B2). routeContained() lets callers (and
+ * the property tests) verify the guarantee.
+ */
+
+#ifndef IH_NOC_ROUTING_HH
+#define IH_NOC_ROUTING_HH
+
+#include <vector>
+
+#include "noc/topology.hh"
+
+namespace ih
+{
+
+/** Dimension order used by a packet. */
+enum class RouteOrder : std::uint8_t
+{
+    XY = 0, ///< traverse X first, then Y
+    YX = 1, ///< traverse Y first, then X
+};
+
+/**
+ * A contiguous row-major range of tiles forming a cluster.
+ * Tiles [first, first+count) belong to the cluster.
+ */
+struct ClusterRange
+{
+    CoreId first = 0;
+    unsigned count = 0;
+
+    bool
+    contains(CoreId t) const
+    {
+        return t >= first && t < first + count;
+    }
+
+    CoreId last() const { return first + count - 1; }
+};
+
+/** Stateless routing policy over a topology. */
+class Router
+{
+  public:
+    explicit Router(const Topology &topo) : topo_(topo) {}
+
+    /**
+     * Enumerate the routers a packet visits from @p src to @p dst
+     * (inclusive of both endpoints) under @p order.
+     */
+    std::vector<CoreId> path(CoreId src, CoreId dst,
+                             RouteOrder order) const;
+
+    /**
+     * Select the dimension order for a packet of a cluster: Y-X when the
+     * source lies in the cluster's boundary row (the row the cluster only
+     * partially owns), X-Y otherwise.
+     */
+    RouteOrder selectOrder(CoreId src, const ClusterRange &cluster) const;
+
+    /** True when every router of @p p lies inside @p cluster. */
+    bool pathContained(const std::vector<CoreId> &p,
+                       const ClusterRange &cluster) const;
+
+    /**
+     * Convenience: route src->dst for @p cluster traffic and report
+     * whether the route is contained in the cluster.
+     */
+    bool routeContained(CoreId src, CoreId dst,
+                        const ClusterRange &cluster) const;
+
+    const Topology &topology() const { return topo_; }
+
+  private:
+    const Topology &topo_;
+};
+
+} // namespace ih
+
+#endif // IH_NOC_ROUTING_HH

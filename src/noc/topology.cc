@@ -1,0 +1,69 @@
+#include "noc/topology.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+Topology::Topology(const SysConfig &cfg)
+    : width_(cfg.meshWidth), height_(cfg.meshHeight)
+{
+    IH_ASSERT(width_ > 0 && height_ > 0, "empty mesh");
+    const unsigned per_edge = cfg.numMcs / 2;
+    IH_ASSERT(per_edge >= 1, "need at least one MC per edge");
+    IH_ASSERT(per_edge <= width_, "more MCs per edge than columns");
+
+    // Top-edge MCs at columns 0,1,...; bottom-edge MCs at W-1,W-2,...
+    for (unsigned i = 0; i < per_edge; ++i) {
+        mcTiles_.push_back(tileAt({static_cast<int>(i), 0}));
+        mcTop_.push_back(true);
+    }
+    for (unsigned i = 0; i < per_edge; ++i) {
+        mcTiles_.push_back(tileAt({static_cast<int>(width_ - 1 - i),
+                                   static_cast<int>(height_ - 1)}));
+        mcTop_.push_back(false);
+    }
+}
+
+Coord
+Topology::coordOf(CoreId id) const
+{
+    IH_ASSERT(id < numTiles(), "tile id %u out of range", id);
+    return {static_cast<int>(id % width_), static_cast<int>(id / width_)};
+}
+
+CoreId
+Topology::tileAt(Coord c) const
+{
+    IH_ASSERT(c.x >= 0 && c.x < static_cast<int>(width_) && c.y >= 0 &&
+                  c.y < static_cast<int>(height_),
+              "coordinate (%d,%d) outside mesh", c.x, c.y);
+    return static_cast<CoreId>(c.y) * width_ + static_cast<CoreId>(c.x);
+}
+
+CoreId
+Topology::mcAttachTile(McId mc) const
+{
+    IH_ASSERT(mc < mcTiles_.size(), "MC id %u out of range", mc);
+    return mcTiles_[mc];
+}
+
+bool
+Topology::mcOnTopEdge(McId mc) const
+{
+    IH_ASSERT(mc < mcTop_.size(), "MC id %u out of range", mc);
+    return mcTop_[mc];
+}
+
+unsigned
+Topology::hopDistance(CoreId a, CoreId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    return static_cast<unsigned>(std::abs(ca.x - cb.x) +
+                                 std::abs(ca.y - cb.y));
+}
+
+} // namespace ih

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 conventions:
+ *
+ *  - panic():  something happened that can never happen unless the
+ *              simulator itself is broken; aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits with code 1.
+ *  - warn():   something is questionable but the run continues.
+ *  - inform(): plain status output.
+ *
+ * A process-global verbosity level gates inform()/trace output so tests
+ * and benches stay quiet by default.
+ */
+
+#ifndef IH_SIM_LOG_HH
+#define IH_SIM_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ih
+{
+
+/** Verbosity levels for non-fatal output. */
+enum class LogLevel : int
+{
+    QUIET = 0,   ///< only warnings and errors
+    INFO = 1,    ///< inform() messages
+    TRACE = 2,   ///< per-event trace output
+};
+
+/** Set the global verbosity (default QUIET). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Abort with a message; for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message; for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; never stops the run. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message when the log level allows. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a trace message when the log level allows. */
+void trace(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ih
+
+/**
+ * Invariant check that survives NDEBUG builds. Use for simulator
+ * correctness conditions whose failure means the model is broken.
+ */
+#define IH_ASSERT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ih::warn("assertion '%s' failed at %s:%d", #cond, __FILE__,   \
+                       __LINE__);                                           \
+            ::ih::panic(__VA_ARGS__);                                       \
+        }                                                                   \
+    } while (0)
+
+#endif // IH_SIM_LOG_HH

@@ -1,0 +1,85 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+Histogram::Histogram(unsigned num_buckets, double max)
+    : buckets_(num_buckets == 0 ? 1 : num_buckets, 0),
+      bucket_width_(max / static_cast<double>(buckets_.size()))
+{
+    IH_ASSERT(max > 0.0, "histogram max must be positive");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v > max_seen_)
+        max_seen_ = v;
+    auto idx = static_cast<std::size_t>(v / bucket_width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    max_seen_ = 0.0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        IH_ASSERT(x > 0.0, "geomean over non-positive value");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+safeDiv(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace ih

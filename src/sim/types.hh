@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every subsystem.
+ *
+ * The simulated machine runs at a nominal 1 GHz, so one Cycle equals one
+ * nanosecond of simulated time. All addresses are physical unless a type
+ * says otherwise.
+ */
+
+#ifndef IH_SIM_TYPES_HH
+#define IH_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ih
+{
+
+/** Simulated clock cycle (1 cycle == 1 ns at the nominal 1 GHz clock). */
+using Cycle = std::uint64_t;
+
+/** Physical address of a byte in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Virtual address within a process address space. */
+using VAddr = std::uint64_t;
+
+/** Tile / core identifier; tiles are numbered row-major on the mesh. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a process known to the scheduler / secure kernel. */
+using ProcId = std::uint32_t;
+
+/** Identifier of a software thread within a process. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a memory controller. */
+using McId = std::uint32_t;
+
+/** Identifier of a physically contiguous DRAM region. */
+using RegionId = std::uint32_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId INVALID_CORE = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "no process". */
+inline constexpr ProcId INVALID_PROC = std::numeric_limits<ProcId>::max();
+
+/** Sentinel cycle value meaning "never" / "not scheduled". */
+inline constexpr Cycle NEVER = std::numeric_limits<Cycle>::max();
+
+/**
+ * Security domain of a process or a hardware resource. Strong isolation is
+ * defined over these two domains: state belonging to SECURE must never be
+ * observable from INSECURE through any shared microarchitecture resource.
+ */
+enum class Domain : std::uint8_t
+{
+    INSECURE = 0,
+    SECURE = 1,
+};
+
+/** Two-domain count, used for partition tables indexed by Domain. */
+inline constexpr unsigned NUM_DOMAINS = 2;
+
+/** Index helper so tables can be indexed by a Domain enumerator. */
+constexpr unsigned
+domainIndex(Domain d)
+{
+    return static_cast<unsigned>(d);
+}
+
+/** The domain opposite to @p d. */
+constexpr Domain
+otherDomain(Domain d)
+{
+    return d == Domain::SECURE ? Domain::INSECURE : Domain::SECURE;
+}
+
+/** Printable name of a domain. */
+constexpr const char *
+domainName(Domain d)
+{
+    return d == Domain::SECURE ? "secure" : "insecure";
+}
+
+/** Kind of memory operation issued by a core. */
+enum class MemOp : std::uint8_t
+{
+    LOAD = 0,
+    STORE = 1,
+    IFETCH = 2,
+};
+
+/** Convert microseconds of simulated time to cycles (1 GHz clock). */
+constexpr Cycle
+usToCycles(double us)
+{
+    return static_cast<Cycle>(us * 1000.0);
+}
+
+/** Convert cycles to milliseconds of simulated time. */
+constexpr double
+cyclesToMs(Cycle c)
+{
+    return static_cast<double>(c) / 1e6;
+}
+
+/** Convert cycles to microseconds of simulated time. */
+constexpr double
+cyclesToUs(Cycle c)
+{
+    return static_cast<double>(c) / 1e3;
+}
+
+} // namespace ih
+
+#endif // IH_SIM_TYPES_HH

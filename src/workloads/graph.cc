@@ -1,0 +1,79 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+RoadGraphGen::RoadGraphGen(unsigned grid_w, unsigned grid_h,
+                           double shortcut_frac, std::uint64_t seed)
+    : w_(grid_w), h_(grid_h), shortcutFrac_(shortcut_frac), rng_(seed)
+{
+    IH_ASSERT(grid_w >= 2 && grid_h >= 2, "grid too small");
+}
+
+Csr
+RoadGraphGen::build()
+{
+    const std::uint32_t v = w_ * h_;
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(v);
+
+    auto idx = [&](unsigned x, unsigned y) { return y * w_ + x; };
+    auto road_weight = [&]() {
+        return static_cast<std::uint32_t>(rng_.nextBetween(10, 100));
+    };
+
+    // Grid roads: bidirectional 4-neighbour links.
+    for (unsigned y = 0; y < h_; ++y) {
+        for (unsigned x = 0; x < w_; ++x) {
+            if (x + 1 < w_) {
+                const auto wgt = road_weight();
+                adj[idx(x, y)].push_back({idx(x + 1, y), wgt});
+                adj[idx(x + 1, y)].push_back({idx(x, y), wgt});
+            }
+            if (y + 1 < h_) {
+                const auto wgt = road_weight();
+                adj[idx(x, y)].push_back({idx(x, y + 1), wgt});
+                adj[idx(x, y + 1)].push_back({idx(x, y), wgt});
+            }
+        }
+    }
+
+    // Shortcuts: long-range low-weight highways.
+    const auto shortcuts =
+        static_cast<std::uint64_t>(shortcutFrac_ * static_cast<double>(v));
+    for (std::uint64_t s = 0; s < shortcuts; ++s) {
+        const auto a = static_cast<std::uint32_t>(rng_.nextRange(v));
+        const auto b = static_cast<std::uint32_t>(rng_.nextRange(v));
+        if (a == b)
+            continue;
+        const auto wgt =
+            static_cast<std::uint32_t>(rng_.nextBetween(5, 40));
+        adj[a].push_back({b, wgt});
+        adj[b].push_back({a, wgt});
+    }
+
+    // Sort adjacency lists by target so intersection-based kernels
+    // (triangle counting) work on ordered neighbour lists.
+    for (auto &list : adj)
+        std::sort(list.begin(), list.end());
+
+    Csr g;
+    g.rowOff.resize(v + 1, 0);
+    for (std::uint32_t u = 0; u < v; ++u)
+        g.rowOff[u + 1] = g.rowOff[u] +
+                          static_cast<std::uint32_t>(adj[u].size());
+    g.col.reserve(g.rowOff[v]);
+    g.weight.reserve(g.rowOff[v]);
+    for (std::uint32_t u = 0; u < v; ++u) {
+        for (auto [to, wgt] : adj[u]) {
+            g.col.push_back(to);
+            g.weight.push_back(wgt);
+        }
+    }
+    return g;
+}
+
+} // namespace ih

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic road-network-style graphs in CSR form.
+ *
+ * The paper's user-level graph applications run on the California road
+ * network with temporal updates generated from sensor readings. We
+ * substitute a synthetic road-like graph: a W x H grid (roads) with a
+ * sprinkling of random shortcut edges (highways), which matches the low,
+ * near-uniform degree distribution and large diameter of road networks.
+ * Edge weights model travel times and are what the temporal updates
+ * perturb.
+ */
+
+#ifndef IH_WORKLOADS_GRAPH_HH
+#define IH_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace ih
+{
+
+/** A directed graph in compressed sparse row form. */
+struct Csr
+{
+    std::vector<std::uint32_t> rowOff;  ///< size V+1
+    std::vector<std::uint32_t> col;     ///< size E
+    std::vector<std::uint32_t> weight;  ///< size E
+
+    std::uint32_t numVertices() const
+    {
+        return static_cast<std::uint32_t>(rowOff.size()) - 1;
+    }
+    std::uint32_t numEdges() const
+    {
+        return static_cast<std::uint32_t>(col.size());
+    }
+};
+
+/** One temporal edge-weight update from the sensor feed. */
+struct EdgeUpdate
+{
+    std::uint32_t edgeIndex; ///< index into Csr::weight
+    std::uint32_t newWeight;
+};
+
+/** Generator for road-like graphs. */
+class RoadGraphGen
+{
+  public:
+    /**
+     * @param grid_w, grid_h  grid dimensions (V = grid_w * grid_h)
+     * @param shortcut_frac   extra shortcut edges as a fraction of V
+     */
+    RoadGraphGen(unsigned grid_w, unsigned grid_h, double shortcut_frac,
+                 std::uint64_t seed);
+
+    /** Build the static graph. */
+    Csr build();
+
+  private:
+    unsigned w_;
+    unsigned h_;
+    double shortcutFrac_;
+    Rng rng_;
+};
+
+} // namespace ih
+
+#endif // IH_WORKLOADS_GRAPH_HH

@@ -1,0 +1,75 @@
+#include "workloads/os_service.hh"
+
+namespace ih
+{
+
+OsServiceWorkload::OsServiceWorkload(const OsAppParams &p)
+    : p_(p), zipf_(p.keySpace, p.zipfTheta)
+{
+}
+
+void
+OsServiceWorkload::setup(Process &proc, IpcBuffer &ipc)
+{
+    kernelState_.init(proc, 4096);
+    requests_.initShared(ipc, p_.requestsPerInteraction);
+    syscalls_.initShared(ipc, p_.syscallsPerInteraction);
+    sysRets_.initShared(ipc, p_.syscallsPerInteraction);
+}
+
+void
+OsServiceWorkload::beginPhase(PhaseKind kind, std::uint64_t interaction,
+                              unsigned num_threads)
+{
+    IH_ASSERT(kind == PhaseKind::PRODUCE, "the OS is the producer side");
+    interaction_ = interaction;
+    // Work items: service the pending syscalls, then deliver requests.
+    const std::size_t total =
+        p_.syscallsPerInteraction + p_.requestsPerInteraction;
+    cursor_.assign(num_threads, 0);
+    limit_.assign(num_threads, 0);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        const WorkRange r = WorkRange::of(total, num_threads, t);
+        cursor_[t] = r.begin;
+        limit_[t] = r.end;
+    }
+}
+
+bool
+OsServiceWorkload::step(ExecContext &ctx)
+{
+    const unsigned t = ctx.threadIndex();
+    if (cursor_[t] >= limit_[t])
+        return false;
+
+    const std::size_t item = cursor_[t]++;
+    if (item < p_.syscallsPerInteraction) {
+        // Service one pending syscall (skip on the very first
+        // interaction: nothing is pending yet).
+        if (interaction_ > 0) {
+            const SyscallRecord sc = syscalls_.read(ctx, item);
+            // Kernel work: fd table / page cache lookups.
+            const std::size_t base =
+                (sc.arg * 17 + sc.number) % (kernelState_.size() -
+                                             p_.kernelBufLines * 8);
+            kernelState_.scan(ctx, base,
+                              static_cast<std::size_t>(
+                                  p_.kernelBufLines) * 8,
+                              MemOp::LOAD);
+            ctx.compute(150 + sc.bytes / 16);
+            sysRets_.write(ctx, item, sc.arg + sc.bytes);
+        }
+    } else {
+        // Deliver one fresh client request.
+        const std::size_t slot = item - p_.syscallsPerInteraction;
+        ClientRequest req;
+        req.key = zipf_.sample(ctx.rng());
+        req.kind = ctx.rng().chance(0.1) ? 1 : 0; // 10% writes
+        req.size = 64;
+        ctx.compute(80); // network stack receive path
+        requests_.write(ctx, slot % requests_.size(), req);
+    }
+    return cursor_[t] < limit_[t];
+}
+
+} // namespace ih

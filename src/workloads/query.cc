@@ -1,0 +1,63 @@
+#include "workloads/query.hh"
+
+namespace ih
+{
+
+QueryGenWorkload::QueryGenWorkload(const QueryParams &p)
+    : p_(p), zipf_(p.tableRows, p.zipfTheta)
+{
+}
+
+void
+QueryGenWorkload::setup(Process &proc, IpcBuffer &ipc)
+{
+    table_.init(proc, p_.tableRows);
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        table_.host(i) = 0x1000 + i * 7;
+    queries_.initShared(ipc, p_.queriesPerInteraction);
+    results_.initShared(ipc, p_.queriesPerInteraction);
+}
+
+void
+QueryGenWorkload::beginPhase(PhaseKind kind, std::uint64_t interaction,
+                             unsigned num_threads)
+{
+    IH_ASSERT(kind == PhaseKind::PRODUCE, "QUERY is the producer");
+    interaction_ = interaction;
+    cursor_.assign(num_threads, 0);
+    limit_.assign(num_threads, 0);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        const WorkRange r =
+            WorkRange::of(p_.queriesPerInteraction, num_threads, t);
+        cursor_[t] = r.begin;
+        limit_[t] = r.end;
+    }
+}
+
+bool
+QueryGenWorkload::step(ExecContext &ctx)
+{
+    const unsigned t = ctx.threadIndex();
+    if (cursor_[t] >= limit_[t])
+        return false;
+
+    const std::size_t q = cursor_[t]++;
+    // Zipf-popular row; read its header, then emit the query.
+    const std::uint64_t row = zipf_.sample(ctx.rng());
+    const std::uint64_t hdr = table_.read(ctx, row);
+    QueryRecord rec;
+    rec.key = hdr ^ (interaction_ << 20) ^ q;
+    for (unsigned i = 0; i < sizeof(rec.payload); ++i)
+        rec.payload[i] =
+            static_cast<std::uint8_t>((rec.key >> (i % 8)) + i);
+    ctx.compute(40); // query serialization
+    queries_.write(ctx, q, rec);
+    // Collect the previous interaction's encrypted result (ping-pong).
+    if (interaction_ > 0) {
+        const QueryRecord prev = results_.read(ctx, q);
+        ctx.compute(8 + (prev.key & 0x7));
+    }
+    return cursor_[t] < limit_[t];
+}
+
+} // namespace ih

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The insecure QUERY generator: a YCSB-style workload that periodically
+ * emits database queries (Zipfian key popularity, per the YCSB core
+ * distributions) for a downstream system to process — here, the secure
+ * AES encryption service that encrypts each query before it leaves the
+ * machine (the ATM scenario of the paper).
+ */
+
+#ifndef IH_WORKLOADS_QUERY_HH
+#define IH_WORKLOADS_QUERY_HH
+
+#include "workloads/workload.hh"
+
+namespace ih
+{
+
+/** A generated query: key plus a small payload to encrypt. */
+struct QueryRecord
+{
+    std::uint64_t key;
+    std::uint8_t payload[32];
+};
+
+/** QUERY sizing. */
+struct QueryParams
+{
+    std::uint64_t tableRows = 65536;
+    unsigned queriesPerInteraction = 32;
+    double zipfTheta = 0.8;
+
+    QueryParams
+    scaled(double s) const
+    {
+        QueryParams p = *this;
+        p.tableRows = std::max<std::uint64_t>(
+            1024, static_cast<std::uint64_t>(tableRows * s));
+        p.queriesPerInteraction = std::max(
+            4u, static_cast<unsigned>(queriesPerInteraction * s));
+        return p;
+    }
+};
+
+/** Insecure YCSB-like query producer. */
+class QueryGenWorkload : public InteractiveWorkload
+{
+  public:
+    explicit QueryGenWorkload(const QueryParams &p);
+
+    void setup(Process &proc, IpcBuffer &ipc) override;
+    void beginPhase(PhaseKind kind, std::uint64_t interaction,
+                    unsigned num_threads) override;
+    bool step(ExecContext &ctx) override;
+
+    /** IPC query stream consumed by the AES service. */
+    SimArray<QueryRecord> &queries() { return queries_; }
+
+    /** IPC result stream written back by the AES service. */
+    SimArray<QueryRecord> &results() { return results_; }
+
+    const QueryParams &params() const { return p_; }
+
+  private:
+    QueryParams p_;
+    ZipfSampler zipf_;
+    SimArray<std::uint64_t> table_;    ///< private row headers
+    SimArray<QueryRecord> queries_;    ///< IPC
+    SimArray<QueryRecord> results_;    ///< IPC
+    std::vector<std::size_t> cursor_;
+    std::vector<std::size_t> limit_;
+    std::uint64_t interaction_ = 0;
+};
+
+} // namespace ih
+
+#endif // IH_WORKLOADS_QUERY_HH

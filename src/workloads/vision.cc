@@ -1,0 +1,102 @@
+#include "workloads/vision.hh"
+
+namespace ih
+{
+
+VisionWorkload::VisionWorkload(const VisionParams &p, std::uint64_t seed)
+    : p_(p), rng_(seed)
+{
+}
+
+void
+VisionWorkload::setup(Process &proc, IpcBuffer &ipc)
+{
+    const std::size_t n = static_cast<std::size_t>(p_.width) * p_.height;
+    raw_.init(proc, n);
+    work_.init(proc, n);
+    frame_.initShared(ipc, n);
+    for (std::size_t i = 0; i < n; ++i)
+        raw_.host(i) = static_cast<std::uint16_t>(rng_.nextRange(1024));
+}
+
+void
+VisionWorkload::beginPhase(PhaseKind kind, std::uint64_t interaction,
+                           unsigned num_threads)
+{
+    IH_ASSERT(kind == PhaseKind::PRODUCE, "VISION is the producer");
+    row_.assign(num_threads, 0);
+    rowEnd_.assign(num_threads, 0);
+    stage_.assign(num_threads, 0);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        const WorkRange r = WorkRange::of(p_.height, num_threads, t);
+        row_[t] = r.begin;
+        rowEnd_[t] = r.end;
+    }
+    // A fresh frame arrives: perturb a strip of the RAW data (host-side;
+    // the sensor DMA is not on the timing path).
+    const std::size_t strip = (interaction * 7) % p_.height;
+    for (unsigned x = 0; x < p_.width; ++x)
+        raw_.host(strip * p_.width + x) =
+            static_cast<std::uint16_t>(rng_.nextRange(1024));
+}
+
+bool
+VisionWorkload::step(ExecContext &ctx)
+{
+    const unsigned t = ctx.threadIndex();
+    if (row_[t] >= rowEnd_[t]) {
+        if (stage_[t] == 0) {
+            // Restart the row range for the blur/publish pass; the
+            // range may be empty for trailing threads.
+            stage_[t] = 1;
+            const WorkRange r =
+                WorkRange::of(p_.height, ctx.numThreads(), t);
+            row_[t] = r.begin;
+            rowEnd_[t] = r.end;
+        }
+        if (row_[t] >= rowEnd_[t])
+            return false;
+    }
+
+    const std::size_t y = row_[t]++;
+    const std::size_t w = p_.width;
+
+    if (stage_[t] == 0) {
+        // Demosaic one row: each output pixel combines the 2x2 Bayer
+        // quad around it.
+        raw_.scan(ctx, y * w, w, MemOp::LOAD);
+        if (y + 1 < p_.height)
+            raw_.scan(ctx, (y + 1) * w, w, MemOp::LOAD);
+        for (std::size_t x = 0; x < w; ++x) {
+            const std::uint32_t r = raw_.host(y * w + x);
+            const std::uint32_t g = raw_.host(y * w + (x ^ 1));
+            const std::uint32_t b =
+                raw_.host(std::min<std::size_t>(y + 1, p_.height - 1) * w +
+                          x);
+            work_.host(y * w + x) = (r << 20) | (g << 10) | b;
+        }
+        work_.scan(ctx, y * w, w, MemOp::STORE);
+        ctx.compute(w * 6);
+    } else {
+        // 3x3 box blur of one row, published to the shared frame.
+        const std::size_t y0 = y > 0 ? y - 1 : y;
+        const std::size_t y1 = std::min<std::size_t>(y + 1, p_.height - 1);
+        work_.scan(ctx, y0 * w, w, MemOp::LOAD);
+        work_.scan(ctx, y * w, w, MemOp::LOAD);
+        work_.scan(ctx, y1 * w, w, MemOp::LOAD);
+        for (std::size_t x = 0; x < w; ++x) {
+            const std::size_t xl = x > 0 ? x - 1 : x;
+            const std::size_t xr = std::min(x + 1, w - 1);
+            std::uint64_t acc = 0;
+            for (std::size_t yy : {y0, y, y1})
+                for (std::size_t xx : {xl, x, xr})
+                    acc += work_.host(yy * w + xx);
+            frame_.host(y * w + x) = static_cast<std::uint32_t>(acc / 9);
+        }
+        frame_.scan(ctx, y * w, w, MemOp::STORE);
+        ctx.compute(w * 10);
+    }
+    return true;
+}
+
+} // namespace ih

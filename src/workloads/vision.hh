@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The insecure VISION pipeline: image-processing kernels over synthetic
+ * RAW frames. Per interaction the pipeline demosaics one Bayer-pattern
+ * frame, applies a 3x3 box blur, and publishes the processed frame to
+ * the secure perception / mission-planning consumers through the IPC
+ * buffer — the reconfigurable-imaging-pipeline front end of the paper's
+ * perception application, reduced to its memory behaviour.
+ */
+
+#ifndef IH_WORKLOADS_VISION_HH
+#define IH_WORKLOADS_VISION_HH
+
+#include "workloads/workload.hh"
+
+namespace ih
+{
+
+/** Sizing of the vision pipeline. */
+struct VisionParams
+{
+    unsigned width = 96;
+    unsigned height = 96;
+
+    VisionParams
+    scaled(double s) const
+    {
+        VisionParams p = *this;
+        p.width = std::max(16u, static_cast<unsigned>(width * s));
+        p.height = std::max(16u, static_cast<unsigned>(height * s));
+        return p;
+    }
+};
+
+/** Insecure image-processing producer (VISION). */
+class VisionWorkload : public InteractiveWorkload
+{
+  public:
+    VisionWorkload(const VisionParams &p, std::uint64_t seed);
+
+    void setup(Process &proc, IpcBuffer &ipc) override;
+    void beginPhase(PhaseKind kind, std::uint64_t interaction,
+                    unsigned num_threads) override;
+    bool step(ExecContext &ctx) override;
+
+    /** The published frame (secure consumers read this). */
+    SimArray<std::uint32_t> &frame() { return frame_; }
+
+    const VisionParams &params() const { return p_; }
+
+  private:
+    VisionParams p_;
+    Rng rng_;
+    SimArray<std::uint16_t> raw_;       ///< private RAW sensor data
+    SimArray<std::uint32_t> work_;      ///< private intermediate image
+    SimArray<std::uint32_t> frame_;     ///< IPC: published frame
+    std::vector<std::size_t> row_;
+    std::vector<std::size_t> rowEnd_;
+    std::vector<unsigned> stage_;       ///< 0 = demosaic, 1 = blur+publish
+};
+
+} // namespace ih
+
+#endif // IH_WORKLOADS_VISION_HH

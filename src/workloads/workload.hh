@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Workload-side abstractions for the execution-driven simulation.
+ *
+ * An InteractiveWorkload is one process's half of an interactive
+ * application. The application driver announces each phase
+ * (beginPhase) and the engine then repeatedly calls step() for every
+ * thread until the phase's work is exhausted. Workloads are *real*
+ * algorithm implementations operating on host-side data, instrumented so
+ * every algorithmic data-structure access is replayed into the timing
+ * model through the ExecContext — the SimArray wrapper makes this
+ * mechanical.
+ */
+
+#ifndef IH_WORKLOADS_WORKLOAD_HH
+#define IH_WORKLOADS_WORKLOAD_HH
+
+#include <vector>
+
+#include "cpu/exec_engine.hh"
+#include "cpu/ipc_buffer.hh"
+#include "cpu/process.hh"
+
+namespace ih
+{
+
+/** Which half of an interaction a phase implements. */
+enum class PhaseKind : std::uint8_t
+{
+    PRODUCE = 0, ///< the insecure process's side of interaction i
+    CONSUME = 1, ///< the secure process's side of interaction i
+};
+
+/** One process's half of an interactive application. */
+class InteractiveWorkload : public SteppableTask
+{
+  public:
+    /** Allocate simulated state. Called once, before any phase. */
+    virtual void setup(Process &proc, IpcBuffer &ipc) = 0;
+
+    /**
+     * Begin the phase of kind @p kind for interaction @p interaction,
+     * to be executed by @p num_threads threads.
+     */
+    virtual void beginPhase(PhaseKind kind, std::uint64_t interaction,
+                            unsigned num_threads) = 0;
+
+    // bool step(ExecContext&) — inherited; returns false when the
+    // calling thread has no more work in the current phase.
+};
+
+/**
+ * A typed array living both host-side (real values, so algorithms
+ * compute real results) and in simulated memory (a virtual range whose
+ * lines the timing model tracks). Every element access issues the
+ * corresponding simulated load/store.
+ */
+template <typename T>
+class SimArray
+{
+  public:
+    SimArray() = default;
+
+    /** Allocate @p n elements in @p proc's address space. */
+    void
+    init(Process &proc, std::size_t n, T fill = T())
+    {
+        space_ = &proc.space();
+        data_.assign(n, fill);
+        base_ = space_->reserveRange(n * sizeof(T));
+        shared_ = false;
+    }
+
+    /** Allocate @p n elements in the IPC buffer owner's space. */
+    void
+    initShared(IpcBuffer &ipc, std::size_t n, T fill = T())
+    {
+        space_ = &ipc.space();
+        data_.assign(n, fill);
+        base_ = space_->reserveRange(n * sizeof(T));
+        shared_ = true;
+    }
+
+    /** Simulated load; returns the host value. */
+    const T &
+    read(ExecContext &ctx, std::size_t i)
+    {
+        touch(ctx, i, MemOp::LOAD);
+        return data_[i];
+    }
+
+    /** Simulated store of @p v. */
+    void
+    write(ExecContext &ctx, std::size_t i, const T &v)
+    {
+        touch(ctx, i, MemOp::STORE);
+        data_[i] = v;
+    }
+
+    /** Simulated read-modify-write via @p fn. */
+    template <typename Fn>
+    void
+    update(ExecContext &ctx, std::size_t i, Fn fn)
+    {
+        touch(ctx, i, MemOp::LOAD);
+        touch(ctx, i, MemOp::STORE);
+        fn(data_[i]);
+    }
+
+    /**
+     * Stream @p count elements starting at @p begin, issuing one
+     * simulated access per touched cache line (dense kernels touch
+     * memory at line granularity; modelling every element would only
+     * multiply simulation cost without changing cache behaviour).
+     */
+    void
+    scan(ExecContext &ctx, std::size_t begin, std::size_t count, MemOp op)
+    {
+        if (count == 0)
+            return;
+        constexpr std::size_t LINE = 64;
+        const std::size_t per_line = std::max<std::size_t>(
+            1, LINE / sizeof(T));
+        std::size_t i = begin;
+        const std::size_t end = begin + count;
+        while (i < end) {
+            touch(ctx, i, op);
+            const std::size_t line_end =
+                (i / per_line + 1) * per_line;
+            i = std::min(end, line_end);
+        }
+    }
+
+    /** Host-side access (no simulated traffic; for setup/verification). */
+    T &host(std::size_t i) { return data_[i]; }
+    const T &host(std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return data_.size(); }
+    VAddr addrOf(std::size_t i) const { return base_ + i * sizeof(T); }
+
+  private:
+    void
+    touch(ExecContext &ctx, std::size_t i, MemOp op)
+    {
+        IH_ASSERT(space_ != nullptr, "SimArray used before init()");
+        IH_ASSERT(i < data_.size(),
+                  "SimArray index %zu out of range (size %zu, base %llx, "
+                  "elem %zu)",
+                  i, data_.size(),
+                  static_cast<unsigned long long>(base_), sizeof(T));
+        if (shared_)
+            ctx.accessShared(*space_, addrOf(i), op);
+        else
+            ctx.access(*space_, addrOf(i), op);
+    }
+
+    std::vector<T> data_;
+    AddressSpace *space_ = nullptr;
+    VAddr base_ = 0;
+    bool shared_ = false;
+};
+
+/**
+ * Helper for splitting @p total work items across @p threads: the
+ * half-open range of thread @p t.
+ */
+struct WorkRange
+{
+    std::size_t begin;
+    std::size_t end;
+
+    static WorkRange
+    of(std::size_t total, unsigned threads, unsigned t)
+    {
+        const std::size_t per = (total + threads - 1) / threads;
+        const std::size_t b = std::min<std::size_t>(total, per * t);
+        const std::size_t e = std::min<std::size_t>(total, b + per);
+        return {b, e};
+    }
+
+    std::size_t size() const { return end - begin; }
+};
+
+} // namespace ih
+
+#endif // IH_WORKLOADS_WORKLOAD_HH

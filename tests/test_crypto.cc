@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Crypto substrate tests against published vectors: SHA-256 (FIPS
+ * 180-4), HMAC-SHA-256 (RFC 4231) and AES-256 (FIPS 197), plus the
+ * trace-hook behaviour the AES side-channel workload relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/aes256.hh"
+#include "crypto/sha256.hh"
+
+using namespace ih;
+
+namespace
+{
+
+std::string
+hex(const std::uint8_t *data, std::size_t n)
+{
+    std::string out;
+    char buf[3];
+    for (std::size_t i = 0; i < n; ++i) {
+        std::snprintf(buf, sizeof(buf), "%02x", data[i]);
+        out += buf;
+    }
+    return out;
+}
+
+template <std::size_t N>
+std::string
+hex(const std::array<std::uint8_t, N> &a)
+{
+    return hex(a.data(), N);
+}
+
+} // namespace
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(hex(Sha256::hash("", 0)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hex(Sha256::hash("abc", 3)),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    const char *msg =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    EXPECT_EQ(hex(Sha256::hash(msg, std::strlen(msg))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk.data(), chunk.size());
+    EXPECT_EQ(hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const std::string msg = "the quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg)
+        h.update(&c, 1);
+    EXPECT_EQ(hex(h.finish()),
+              hex(Sha256::hash(msg.data(), msg.size())));
+}
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    std::uint8_t key[20];
+    std::memset(key, 0x0b, sizeof(key));
+    const char *msg = "Hi There";
+    EXPECT_EQ(hex(hmacSha256(key, sizeof(key), msg, std::strlen(msg))),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    const char *key = "Jefe";
+    const char *msg = "what do ya want for nothing?";
+    EXPECT_EQ(hex(hmacSha256(key, 4, msg, std::strlen(msg))),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst)
+{
+    std::uint8_t key[131];
+    std::memset(key, 0xaa, sizeof(key));
+    const char *msg = "Test Using Larger Than Block-Size Key - Hash Key "
+                      "First";
+    EXPECT_EQ(hex(hmacSha256(key, sizeof(key), msg, std::strlen(msg))),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Aes256, SboxKnownValues)
+{
+    // FIPS 197 S-box spot checks.
+    EXPECT_EQ(Aes256::sbox(0x00), 0x63);
+    EXPECT_EQ(Aes256::sbox(0x01), 0x7c);
+    EXPECT_EQ(Aes256::sbox(0x53), 0xed);
+    EXPECT_EQ(Aes256::sbox(0xff), 0x16);
+}
+
+TEST(Aes256, Fips197Vector)
+{
+    // FIPS 197 Appendix C.3: AES-256 with key 00..1f, plaintext
+    // 00112233445566778899aabbccddeeff.
+    Aes256::Key key;
+    for (unsigned i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    Aes256::Block pt;
+    const std::uint8_t raw[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                  0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                  0xcc, 0xdd, 0xee, 0xff};
+    std::memcpy(pt.data(), raw, 16);
+    const Aes256 aes(key);
+    EXPECT_EQ(hex(aes.encryptBlock(pt)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256, TracedMatchesUntraced)
+{
+    Aes256::Key key{};
+    key[0] = 0x42;
+    const Aes256 aes(key);
+    Aes256::Block pt{};
+    pt[5] = 9;
+    unsigned lookups = 0;
+    const auto traced = aes.encryptBlockTraced(
+        pt, [&](unsigned, unsigned) { ++lookups; });
+    EXPECT_EQ(hex(traced), hex(aes.encryptBlock(pt)));
+    // 13 rounds x 16 T-table lookups + 16 final-round S-box lookups.
+    EXPECT_EQ(lookups, 13u * 16 + 16);
+}
+
+TEST(Aes256, TraceIndicesAreBytes)
+{
+    Aes256::Key key{};
+    const Aes256 aes(key);
+    Aes256::Block pt{};
+    aes.encryptBlockTraced(pt, [&](unsigned table, unsigned index) {
+        EXPECT_LE(table, 4u);
+        EXPECT_LT(index, 256u);
+    });
+}
+
+TEST(Aes256, CtrRoundTrip)
+{
+    Aes256::Key key{};
+    for (unsigned i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i * 5 + 1);
+    const Aes256 aes(key);
+    std::uint8_t data[100];
+    for (unsigned i = 0; i < sizeof(data); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    std::uint8_t orig[100];
+    std::memcpy(orig, data, sizeof(data));
+
+    aes.encryptCtr(data, sizeof(data), 7);
+    EXPECT_NE(0, std::memcmp(data, orig, sizeof(data)));
+    aes.encryptCtr(data, sizeof(data), 7); // CTR is an involution
+    EXPECT_EQ(0, std::memcmp(data, orig, sizeof(data)));
+}
+
+TEST(Aes256, CtrCounterAdvances)
+{
+    Aes256::Key key{};
+    const Aes256 aes(key);
+    std::uint8_t data[33] = {};
+    EXPECT_EQ(aes.encryptCtr(data, sizeof(data), 10), 13u); // 3 blocks
+}
+
+TEST(Aes256, DifferentKeysDifferentCiphertext)
+{
+    Aes256::Key k1{}, k2{};
+    k2[31] = 1;
+    Aes256::Block pt{};
+    EXPECT_NE(hex(Aes256(k1).encryptBlock(pt)),
+              hex(Aes256(k2).encryptBlock(pt)));
+}

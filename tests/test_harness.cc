@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Harness tests: table rendering, experiment plumbing, the split
+ * decision policies, and the scale environment knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace ih;
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.00"});
+    t.addSeparator();
+    t.addRow({"beta", "2.50"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.50"), std::string::npos);
+    // Header separator plus the explicit one.
+    EXPECT_GE(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(Table, NumbersRightAlignedFirstColumnLeft)
+{
+    Table t({"k", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "100"});
+    const std::string s = t.toString();
+    // The short value is padded to the width of the long one.
+    EXPECT_NE(s.find("  a        "), std::string::npos);
+    EXPECT_NE(s.find("  1\n"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(BenchScale, DefaultsToOne)
+{
+    unsetenv("IRONHIDE_SCALE");
+    EXPECT_EQ(benchScale(), 1.0);
+}
+
+TEST(BenchScale, ReadsEnvironment)
+{
+    setenv("IRONHIDE_SCALE", "0.25", 1);
+    EXPECT_EQ(benchScale(), 0.25);
+    setenv("IRONHIDE_SCALE", "garbage", 1);
+    EXPECT_EQ(benchScale(), 1.0); // warns and falls back
+    unsetenv("IRONHIDE_SCALE");
+}
+
+TEST(BenchConfig, Validates)
+{
+    const SysConfig cfg = benchConfig();
+    EXPECT_EQ(cfg.numTiles(), 64u);
+}
+
+namespace
+{
+
+AppSpec
+tiny()
+{
+    AppSpec spec = findApp("<AES, QUERY>", 0.05);
+    spec.interactions = 4;
+    spec.insecureThreads = 2;
+    spec.secureThreads = 2;
+    return spec;
+}
+
+} // namespace
+
+TEST(Experiment, BaselineAndFixedSplitRun)
+{
+    const SysConfig cfg = SysConfig::smallTest();
+    const AppSpec spec = tiny();
+    const ExperimentResult base =
+        runExperiment(spec, ArchKind::INSECURE, cfg);
+    EXPECT_EQ(base.app, spec.name);
+    EXPECT_EQ(base.arch, "insecure");
+    EXPECT_GT(base.run.completion, 0u);
+
+    IronhideOptions opts;
+    opts.policy = SplitPolicy::FIXED;
+    opts.fixedSplit = 4;
+    const ExperimentResult ih =
+        runExperiment(spec, ArchKind::IRONHIDE, cfg, opts);
+    EXPECT_EQ(ih.decidedSplit, 4u);
+    EXPECT_EQ(ih.run.secureCores, 4u);
+}
+
+TEST(Experiment, StaticHalfSkipsReconfiguration)
+{
+    const SysConfig cfg = SysConfig::smallTest();
+    IronhideOptions opts;
+    opts.policy = SplitPolicy::STATIC_HALF;
+    const ExperimentResult r =
+        runExperiment(tiny(), ArchKind::IRONHIDE, cfg, opts);
+    EXPECT_EQ(r.run.reconfigCycles, 0u);
+    EXPECT_EQ(r.run.secureCores, cfg.numTiles() / 2);
+}
+
+TEST(Experiment, VariationPerturbsDecision)
+{
+    const SysConfig cfg = SysConfig::smallTest();
+    IronhideOptions plus;
+    plus.policy = SplitPolicy::OPTIMAL;
+    plus.variationPct = +25;
+    plus.probeInteractions = 2;
+    IronhideOptions minus = plus;
+    minus.variationPct = -25;
+    const ExperimentResult hi =
+        runExperiment(tiny(), ArchKind::IRONHIDE, cfg, plus);
+    const ExperimentResult lo =
+        runExperiment(tiny(), ArchKind::IRONHIDE, cfg, minus);
+    // +/-25% of a 16-tile machine is +/-4 cores around the same oracle
+    // decision, clamped to the legal [2, 14] range.
+    EXPECT_GT(hi.decidedSplit, lo.decidedSplit);
+    EXPECT_LE(hi.decidedSplit - lo.decidedSplit, 8u);
+    EXPECT_GE(lo.decidedSplit, 2u);
+    EXPECT_LE(hi.decidedSplit, cfg.numTiles() - 2);
+}
+
+TEST(Experiment, OptimalNeverWorseThanFixedEndpoints)
+{
+    const SysConfig cfg = SysConfig::smallTest();
+    const AppSpec spec = tiny();
+    const auto opt =
+        decideSplit(spec, cfg, SplitPolicy::OPTIMAL, 2);
+
+    auto completion_at = [&](unsigned split) {
+        IronhideOptions o;
+        o.policy = SplitPolicy::FIXED;
+        o.fixedSplit = split;
+        return runExperiment(spec, ArchKind::IRONHIDE, cfg, o)
+            .run.completion;
+    };
+    // The oracle's choice (measured on probes) should not be beaten
+    // decisively by the extreme splits on the full run.
+    const Cycle at_opt = completion_at(opt.secureCores);
+    EXPECT_LE(at_opt, completion_at(2) * 2);
+    EXPECT_LE(at_opt, completion_at(cfg.numTiles() - 2) * 2);
+}

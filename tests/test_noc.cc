@@ -1,0 +1,277 @@
+/**
+ * @file
+ * NoC tests: topology geometry, dimension-ordered routing, and the
+ * central strong-isolation property — for every legal cluster split,
+ * every intra-cluster route (including memory-controller traffic) stays
+ * on routers owned by that cluster under the bidirectional X-Y/Y-X
+ * policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+
+using namespace ih;
+
+namespace
+{
+
+SysConfig
+cfg8x8()
+{
+    SysConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+TEST(Topology, RowMajorCoordinates)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    EXPECT_EQ(topo.coordOf(0), (Coord{0, 0}));
+    EXPECT_EQ(topo.coordOf(7), (Coord{7, 0}));
+    EXPECT_EQ(topo.coordOf(8), (Coord{0, 1}));
+    EXPECT_EQ(topo.coordOf(63), (Coord{7, 7}));
+    EXPECT_EQ(topo.tileAt({3, 2}), 19u);
+}
+
+TEST(Topology, McAttachmentsAtCorners)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    ASSERT_EQ(topo.numMcs(), 4u);
+    // Top-edge MCs at the top-left corner columns.
+    EXPECT_EQ(topo.mcAttachTile(0), 0u);
+    EXPECT_EQ(topo.mcAttachTile(1), 1u);
+    EXPECT_TRUE(topo.mcOnTopEdge(0));
+    EXPECT_TRUE(topo.mcOnTopEdge(1));
+    // Bottom-edge MCs at the bottom-right corner columns.
+    EXPECT_EQ(topo.mcAttachTile(2), 63u);
+    EXPECT_EQ(topo.mcAttachTile(3), 62u);
+    EXPECT_FALSE(topo.mcOnTopEdge(2));
+}
+
+TEST(Topology, HopDistance)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    EXPECT_EQ(topo.hopDistance(0, 0), 0u);
+    EXPECT_EQ(topo.hopDistance(0, 7), 7u);
+    EXPECT_EQ(topo.hopDistance(0, 63), 14u);
+    EXPECT_EQ(topo.hopDistance(9, 18), 2u);
+}
+
+TEST(Routing, XyPathShape)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    // (1,1) -> (3,2) via XY: x first.
+    const auto p = router.path(topo.tileAt({1, 1}), topo.tileAt({3, 2}),
+                               RouteOrder::XY);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[0], topo.tileAt({1, 1}));
+    EXPECT_EQ(p[1], topo.tileAt({2, 1}));
+    EXPECT_EQ(p[2], topo.tileAt({3, 1}));
+    EXPECT_EQ(p[3], topo.tileAt({3, 2}));
+}
+
+TEST(Routing, YxPathShape)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    const auto p = router.path(topo.tileAt({1, 1}), topo.tileAt({3, 2}),
+                               RouteOrder::YX);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[1], topo.tileAt({1, 2}));
+    EXPECT_EQ(p[2], topo.tileAt({2, 2}));
+}
+
+TEST(Routing, SelfRouteIsSingleton)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    EXPECT_EQ(router.path(5, 5, RouteOrder::XY).size(), 1u);
+}
+
+TEST(Routing, PathLengthIsManhattanDistance)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    for (CoreId s = 0; s < 64; s += 5) {
+        for (CoreId d = 0; d < 64; d += 7) {
+            for (RouteOrder o : {RouteOrder::XY, RouteOrder::YX}) {
+                EXPECT_EQ(router.path(s, d, o).size(),
+                          topo.hopDistance(s, d) + 1);
+            }
+        }
+    }
+}
+
+TEST(Routing, XyOnlyViolatesPartialRowClusters)
+{
+    // The motivating counter-example from the paper: with X-Y-only
+    // routing, a cluster owning a partial row leaks traffic.
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    const ClusterRange secure{0, 10}; // row 0 + two tiles of row 1
+    // (7,0) -> (1,1): X-Y stays inside; (1,1) -> (7,0) X-Y walks row 1
+    // through insecure tiles.
+    const auto bad = router.path(topo.tileAt({1, 1}), topo.tileAt({7, 0}),
+                                 RouteOrder::XY);
+    EXPECT_FALSE(router.pathContained(bad, secure));
+    // The policy picks Y-X for boundary-row sources, which is contained.
+    EXPECT_EQ(router.selectOrder(topo.tileAt({1, 1}), secure),
+              RouteOrder::YX);
+    EXPECT_TRUE(router.routeContained(topo.tileAt({1, 1}),
+                                      topo.tileAt({7, 0}), secure));
+}
+
+/**
+ * The central containment property (paper Section III-B2): for every
+ * split s in [1, 63], all intra-cluster pairs of both the secure prefix
+ * and the insecure suffix route entirely within their cluster, and each
+ * cluster's traffic to its own memory controllers is contained too.
+ */
+class ContainmentProperty : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ContainmentProperty, AllIntraClusterRoutesContained)
+{
+    const unsigned split = GetParam();
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    const ClusterRange secure{0, split};
+    const ClusterRange insecure{split, 64 - split};
+
+    for (const ClusterRange &cl : {secure, insecure}) {
+        for (CoreId s = cl.first; s < cl.first + cl.count; ++s) {
+            for (CoreId d = cl.first; d < cl.first + cl.count; ++d) {
+                EXPECT_TRUE(router.routeContained(s, d, cl))
+                    << "split=" << split << " src=" << s << " dst=" << d;
+            }
+        }
+    }
+}
+
+TEST_P(ContainmentProperty, McTrafficContained)
+{
+    const unsigned split = GetParam();
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const Router router(topo);
+    const ClusterRange secure{0, split};
+    const ClusterRange insecure{split, 64 - split};
+
+    for (const ClusterRange &cl : {secure, insecure}) {
+        // MCs whose attachment tile the cluster owns.
+        for (McId m = 0; m < topo.numMcs(); ++m) {
+            const CoreId attach = topo.mcAttachTile(m);
+            if (!cl.contains(attach))
+                continue;
+            for (CoreId s = cl.first; s < cl.first + cl.count; ++s) {
+                EXPECT_TRUE(router.routeContained(s, attach, cl))
+                    << "split=" << split << " src=" << s << " mc=" << m;
+                EXPECT_TRUE(router.routeContained(attach, s, cl))
+                    << "split=" << split << " mc=" << m << " dst=" << s;
+            }
+        }
+    }
+}
+
+TEST_P(ContainmentProperty, EachClusterOwnsAController)
+{
+    const unsigned split = GetParam();
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    const ClusterRange secure{0, split};
+    const ClusterRange insecure{split, 64 - split};
+    unsigned s_mcs = 0, i_mcs = 0;
+    for (McId m = 0; m < topo.numMcs(); ++m) {
+        s_mcs += secure.contains(topo.mcAttachTile(m));
+        i_mcs += insecure.contains(topo.mcAttachTile(m));
+    }
+    EXPECT_GE(s_mcs, 1u);
+    EXPECT_GE(i_mcs, 1u);
+    EXPECT_EQ(s_mcs + i_mcs, topo.numMcs());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplits, ContainmentProperty,
+                         testing::Range(1u, 64u));
+
+TEST(Network, UnloadedLatencyScalesWithDistance)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    EXPECT_EQ(net.unloadedLatency(0, 0), 0u);
+    EXPECT_EQ(net.unloadedLatency(0, 7), 7 * cfg.hopLatency);
+    EXPECT_EQ(net.unloadedLatency(0, 63), 14 * cfg.hopLatency);
+}
+
+TEST(Network, TraverseChargesHopsAndSerialization)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange whole{0, 64};
+    // Single-flit packet: pure hop latency.
+    EXPECT_EQ(net.traverse(0, 3, 100, 1, whole), 100 + 3 * cfg.hopLatency);
+    net.resetLinkState();
+    // Multi-flit packet: + (flits-1) tail serialization.
+    EXPECT_EQ(net.traverse(0, 3, 100, 5, whole),
+              100 + 3 * cfg.hopLatency + 4);
+}
+
+TEST(Network, ContentionDelaysSecondPacket)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange whole{0, 64};
+    const Cycle t1 = net.traverse(0, 7, 0, 8, whole);
+    const Cycle t2 = net.traverse(0, 7, 0, 8, whole); // same links, same time
+    EXPECT_GT(t2, t1);
+    EXPECT_GT(net.stats().value("link_stall_cycles"), 0u);
+}
+
+TEST(Network, LocalAccessBypassesNetwork)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange whole{0, 64};
+    EXPECT_EQ(net.traverse(9, 9, 500, 5, whole), 500u);
+}
+
+TEST(Network, ViolationCounterCatchesCrossClusterRoutes)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange secure{0, 8}; // row 0 only
+    // A route from row 0 to row 3 leaves the cluster.
+    net.traverse(0, 24, 0, 1, secure);
+    EXPECT_EQ(net.isolationViolations(), 1u);
+}
+
+TEST(Network, RoundTripIsTwoTraversals)
+{
+    const SysConfig cfg = cfg8x8();
+    const Topology topo(cfg);
+    Network net(cfg, topo);
+    const ClusterRange whole{0, 64};
+    const Cycle rt = net.roundTrip(0, 9, 0, 1, 5, whole);
+    EXPECT_EQ(rt, 2 * cfg.hopLatency // 0->9 is 2 hops
+                      + 2 * cfg.hopLatency + 4);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Adversarial security-property tests, complementing the per-module
+ * suites: attestation forgery resistance, access-check totality, TDM
+ * non-interference under load sweeps, and the "containment is free"
+ * routing property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ironhide.hh"
+#include "core/mi6.hh"
+#include "core/secure_kernel.hh"
+#include "mem/mem_controller.hh"
+#include "noc/routing.hh"
+
+using namespace ih;
+
+namespace
+{
+
+struct Rig
+{
+    System sys{SysConfig::smallTest()};
+    Process *secure = nullptr;
+
+    Rig()
+    {
+        sys.createProcess("prod", Domain::INSECURE, 2);
+        secure = &sys.createProcess("enclave", Domain::SECURE, 2);
+        SecureKernel vendor(sys, MulticoreMi6::defaultVendorKey());
+        vendor.provision(*secure);
+    }
+};
+
+} // namespace
+
+/** Flipping any single byte of the signature must fail attestation. */
+class SignatureForgery : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignatureForgery, AnyFlippedByteIsRejected)
+{
+    Rig r;
+    SecureKernel kernel(r.sys, MulticoreMi6::defaultVendorKey());
+    auto sig = r.secure->signature();
+    sig[GetParam()] ^= 0x80;
+    r.secure->setSignature(sig);
+    Cycle t = 0;
+    EXPECT_FALSE(kernel.attest(*r.secure, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryFourthByte, SignatureForgery,
+                         testing::Values(0u, 4u, 8u, 12u, 16u, 20u, 24u,
+                                         28u, 31u));
+
+TEST(SignatureForgery, MeasurementBindsIdentity)
+{
+    // A different process name (i.e. a different binary image) yields a
+    // different measurement, so a signature cannot be transplanted.
+    Rig r;
+    Process &imposter =
+        r.sys.createProcess("enclave-evil", Domain::SECURE, 2);
+    imposter.setSignature(r.secure->signature());
+    SecureKernel kernel(r.sys, MulticoreMi6::defaultVendorKey());
+    Cycle t = 0;
+    EXPECT_FALSE(kernel.attest(imposter, t));
+    EXPECT_NE(imposter.measurement(), r.secure->measurement());
+}
+
+TEST(SignatureForgery, ThreadCountChangesMeasurement)
+{
+    Rig r;
+    Process &variant = r.sys.createProcess("enclave", Domain::SECURE, 3);
+    EXPECT_NE(variant.measurement(), r.secure->measurement());
+}
+
+/** The region checker must be total: every insecure->secure-region
+ *  combination is denied for any partition size. */
+class CheckerTotality : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CheckerTotality, InsecureNeverReachesSecureRegions)
+{
+    const unsigned regions = GetParam();
+    const RegionOwnership own = RegionOwnership::evenSplit(regions);
+    const AccessChecker check = own.makeChecker();
+    for (RegionId rg = 0; rg < regions; ++rg) {
+        if (own.owner(rg) == Domain::SECURE)
+            EXPECT_FALSE(check(Domain::INSECURE, rg)) << rg;
+        else
+            EXPECT_TRUE(check(Domain::INSECURE, rg)) << rg;
+        EXPECT_TRUE(check(Domain::SECURE, rg)) << rg;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RegionCounts, CheckerTotality,
+                         testing::Values(2u, 4u, 8u, 16u, 32u));
+
+/** TDM non-interference: the secure domain's controller latency is a
+ *  pure function of its own traffic, whatever the insecure load. */
+class TdmNonInterference : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TdmNonInterference, SecureLatencyIndependentOfInsecureLoad)
+{
+    const SysConfig cfg = SysConfig::smallTest();
+    const unsigned insecure_burst = GetParam();
+
+    auto secure_latency = [&](unsigned burst) {
+        MemController mc(0, cfg);
+        mc.setIsolationMode(McIsolationMode::TDM_RESERVATION);
+        for (unsigned i = 0; i < burst; ++i)
+            mc.serviceRead(0x400000 + i * 64, 0, Domain::INSECURE);
+        return mc.serviceRead(0x1000, 50, Domain::SECURE);
+    };
+
+    EXPECT_EQ(secure_latency(insecure_burst), secure_latency(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, TdmNonInterference,
+                         testing::Values(0u, 1u, 4u, 16u, 64u, 256u));
+
+TEST(TdmNonInterference, SharedModeDoesInterfere)
+{
+    // The contrast: without the reservation, insecure load visibly
+    // delays the secure request (the observable channel MI6 purges).
+    const SysConfig cfg = SysConfig::smallTest();
+    auto secure_latency = [&](unsigned burst) {
+        MemController mc(0, cfg);
+        for (unsigned i = 0; i < burst; ++i)
+            mc.serviceRead(0x400000 + i * 64, 0, Domain::INSECURE);
+        return mc.serviceRead(0x1000, 0, Domain::SECURE);
+    };
+    EXPECT_GT(secure_latency(64), secure_latency(0));
+}
+
+/** Containment costs no hops: for every split, the policy-selected
+ *  order yields minimal (Manhattan) path lengths. */
+class ContainmentIsFree : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ContainmentIsFree, SelectedRoutesAreMinimal)
+{
+    SysConfig cfg;
+    cfg.validate();
+    const Topology topo(cfg);
+    const Router router(topo);
+    const unsigned split = GetParam();
+    const ClusterRange secure{0, split};
+    const ClusterRange insecure{split, 64 - split};
+    for (const ClusterRange &cl : {secure, insecure}) {
+        for (CoreId s = cl.first; s < cl.first + cl.count; s += 3) {
+            for (CoreId d = cl.first; d < cl.first + cl.count; d += 5) {
+                const auto p =
+                    router.path(s, d, router.selectOrder(s, cl));
+                EXPECT_EQ(p.size(), topo.hopDistance(s, d) + 1);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ContainmentIsFree,
+                         testing::Values(2u, 7u, 13u, 22u, 32u, 41u,
+                                         55u, 62u));
+
+TEST(PurgeScope, SecureAppSwitchLeavesInsecureClusterAlone)
+{
+    // Mutually distrusting secure processes (different applications)
+    // force a secure-cluster purge; the insecure cluster must keep all
+    // of its state (it never changes hands).
+    Rig r;
+    Ironhide model(r.sys);
+    Process *ins = r.sys.processes()[0].get();
+    model.configure({ins, r.secure}, 0);
+
+    const unsigned split = model.secureCoreCount();
+    for (CoreId c = 0; c < r.sys.numTiles(); ++c) {
+        r.sys.mem().l1(c).insert(
+            0x5000 + c * 64,
+            c < split ? r.secure->id() : ins->id(),
+            c < split ? Domain::SECURE : Domain::INSECURE);
+    }
+    model.secureAppSwitch(0);
+    for (CoreId c = 0; c < r.sys.numTiles(); ++c) {
+        if (c < split)
+            EXPECT_EQ(r.sys.mem().l1(c).validLines(), 0u) << c;
+        else
+            EXPECT_EQ(r.sys.mem().l1(c).validLines(), 1u) << c;
+    }
+}
+
+TEST(PurgeScope, DrainTouchesOnlyGivenControllers)
+{
+    Rig r;
+    r.sys.mem().mc(0).acceptWrite(0x0, 0);
+    r.sys.mem().mc(1).acceptWrite(0x4000000, 0);
+    r.sys.mem().drainControllers({0}, 100);
+    EXPECT_EQ(r.sys.mem().mc(0).pendingWrites(), 0u);
+    EXPECT_EQ(r.sys.mem().mc(1).pendingWrites(), 1u);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * TLB, physical allocator, address-space and homing-policy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/homing.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+
+using namespace ih;
+
+namespace
+{
+
+SysConfig
+cfg()
+{
+    return SysConfig::smallTest();
+}
+
+} // namespace
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb("t", 4, 4096);
+    EXPECT_EQ(tlb.lookup(0x1234, 1), nullptr);
+    tlb.insert(0x1234, 0x100000, 1, Domain::SECURE);
+    TlbEntry *e = tlb.lookup(0x1777, 1); // same page
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppage, 0x100000u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, EntriesAreProcessTagged)
+{
+    Tlb tlb("t", 4, 4096);
+    tlb.insert(0x1000, 0xA000, 1, Domain::SECURE);
+    EXPECT_EQ(tlb.lookup(0x1000, 2), nullptr); // other process misses
+    EXPECT_NE(tlb.lookup(0x1000, 1), nullptr);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb("t", 2, 4096);
+    tlb.insert(0x1000, 0xA000, 1, Domain::INSECURE);
+    tlb.insert(0x2000, 0xB000, 1, Domain::INSECURE);
+    tlb.lookup(0x1000, 1); // 0x1000 MRU
+    tlb.insert(0x3000, 0xC000, 1, Domain::INSECURE);
+    EXPECT_NE(tlb.lookup(0x1000, 1), nullptr);
+    EXPECT_EQ(tlb.lookup(0x2000, 1), nullptr);
+}
+
+TEST(Tlb, FlushAllAndByProcess)
+{
+    Tlb tlb("t", 8, 4096);
+    tlb.insert(0x1000, 0xA000, 1, Domain::SECURE);
+    tlb.insert(0x2000, 0xB000, 2, Domain::INSECURE);
+    EXPECT_EQ(tlb.flushProc(1), 1u);
+    EXPECT_EQ(tlb.lookup(0x1000, 1), nullptr);
+    EXPECT_NE(tlb.lookup(0x2000, 2), nullptr);
+    EXPECT_EQ(tlb.flushAll(), 1u);
+    EXPECT_EQ(tlb.validEntriesOf(Domain::INSECURE), 0u);
+}
+
+TEST(PhysAllocator, PagesAreRegionLocalAndDistinct)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    std::set<Addr> seen;
+    for (RegionId r = 0; r < c.numRegions; ++r) {
+        for (int i = 0; i < 10; ++i) {
+            const Addr pa = alloc.allocPage(r);
+            EXPECT_EQ(regionOf(pa), r);
+            EXPECT_TRUE(seen.insert(pa).second);
+            EXPECT_EQ(pa % c.pageBytes, 0u);
+        }
+    }
+    EXPECT_EQ(alloc.pagesUsed(0), 10u);
+}
+
+TEST(AddressSpace, LazyMappingIsStable)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    const PageInfo &a = as.ensureMapped(0x5000);
+    const PageInfo &b = as.ensureMapped(0x5FFF); // same page
+    EXPECT_EQ(a.ppage, b.ppage);
+    EXPECT_EQ(as.mappedPages(), 1u);
+    EXPECT_EQ(as.translate(0x6000), nullptr);
+}
+
+TEST(AddressSpace, AllocationRoundRobinsAllowedRegions)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    as.setAllowedRegions({1, 3});
+    std::set<RegionId> regions;
+    for (VAddr va = 0; va < 8 * c.pageBytes; va += c.pageBytes)
+        regions.insert(regionOf(as.ensureMapped(va).ppage));
+    EXPECT_EQ(regions, (std::set<RegionId>{1, 3}));
+}
+
+TEST(AddressSpace, LocalHomingConfinesToAllowedSlices)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    as.setHomingMode(HomingMode::LOCAL_HOMING);
+    as.setAllowedSlices({2, 5, 7});
+    for (VAddr va = 0; va < 16 * c.pageBytes; va += c.pageBytes) {
+        const CoreId home = as.homeOf(va);
+        EXPECT_TRUE(home == 2 || home == 5 || home == 7);
+    }
+}
+
+TEST(AddressSpace, HashHomingIsLineGranularAndInRange)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::INSECURE);
+    as.setHomingMode(HomingMode::HASH_FOR_HOMING);
+    std::set<CoreId> homes;
+    for (VAddr va = 0; va < 4 * c.pageBytes; va += c.lineBytes)
+        homes.insert(as.homeOf(va));
+    // Hash homing scatters lines over many slices.
+    EXPECT_GT(homes.size(), 4u);
+    for (CoreId h : homes)
+        EXPECT_LT(h, c.numTiles());
+}
+
+TEST(AddressSpace, RehomeMovesOnlyLostSlices)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    as.setHomingMode(HomingMode::LOCAL_HOMING);
+    as.setAllowedSlices({0, 1, 2, 3});
+    for (VAddr va = 0; va < 8 * c.pageBytes; va += c.pageBytes)
+        as.ensureMapped(va);
+
+    // Shrink to {0, 1}: pages homed on 2/3 move; pages on 0/1 stay.
+    std::vector<CoreId> old_homes;
+    for (VAddr va = 0; va < 8 * c.pageBytes; va += c.pageBytes)
+        old_homes.push_back(as.translate(va)->homeSlice);
+    const std::uint64_t moved = as.rehomeAll({0, 1});
+    EXPECT_EQ(moved, 4u); // half the round-robin pages were on 2/3
+    for (std::size_t i = 0; i < old_homes.size(); ++i) {
+        const CoreId nh =
+            as.translate(static_cast<VAddr>(i) * c.pageBytes)->homeSlice;
+        EXPECT_TRUE(nh == 0 || nh == 1);
+        if (old_homes[i] <= 1) {
+            EXPECT_EQ(nh, old_homes[i]); // surviving homes untouched
+        }
+    }
+}
+
+TEST(AddressSpace, ReserveRangesDoNotOverlap)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    const VAddr a = as.reserveRange(1000);
+    const VAddr b = as.reserveRange(50000);
+    const VAddr d = as.reserveRange(1);
+    EXPECT_GE(b, a + 1000);
+    EXPECT_GE(d, b + 50000);
+    EXPECT_EQ(a % c.pageBytes, 0u);
+}
+
+TEST(Homing, HashIsDeterministic)
+{
+    const std::vector<CoreId> slices{0, 1, 2, 3};
+    EXPECT_EQ(Homing::hashHome(0x1000, slices),
+              Homing::hashHome(0x1000, slices));
+}
+
+TEST(Homing, HashSpreadsAcrossSlices)
+{
+    std::vector<CoreId> slices;
+    for (CoreId i = 0; i < 16; ++i)
+        slices.push_back(i);
+    std::set<CoreId> seen;
+    for (Addr a = 0; a < 256 * 64; a += 64)
+        seen.insert(Homing::hashHome(a, slices));
+    EXPECT_GE(seen.size(), 12u);
+}
+
+TEST(Homing, LocalRoundRobins)
+{
+    const std::vector<CoreId> slices{4, 9};
+    EXPECT_EQ(Homing::localHome(0, slices), 4u);
+    EXPECT_EQ(Homing::localHome(1, slices), 9u);
+    EXPECT_EQ(Homing::localHome(2, slices), 4u);
+}
+
+/** Property: every page ever mapped lands in an allowed region. */
+class RegionConfinement : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RegionConfinement, AllPagesInAllowedRegions)
+{
+    const SysConfig c = cfg();
+    PhysAllocator alloc(c);
+    AddressSpace as(c, alloc, 1, Domain::SECURE);
+    const RegionId allowed = GetParam();
+    as.setAllowedRegions({allowed});
+    for (VAddr va = 0; va < 32 * c.pageBytes; va += c.pageBytes)
+        EXPECT_EQ(regionOf(as.ensureMapped(va).ppage), allowed);
+}
+
+INSTANTIATE_TEST_SUITE_P(EachRegion, RegionConfinement,
+                         testing::Range(0u, 4u));
