@@ -13,12 +13,14 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace ih;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
     printBanner("Ablation A3 — dynamic hardware isolation",
                 "Reconfiguration policy vs performance and scheduling-"
                 "leakage events,\nand sensitivity to the page re-homing "
@@ -30,27 +32,54 @@ main()
                                        findApp("<AES, QUERY>", scale),
                                        findApp("<MEMCACHED, OS>", scale)};
 
+    struct P
+    {
+        const char *label;
+        SplitPolicy policy;
+    };
+    const std::vector<P> policies = {
+        P{"static 32/32", SplitPolicy::STATIC_HALF},
+        P{"heuristic x1", SplitPolicy::HEURISTIC},
+        P{"optimal x1", SplitPolicy::OPTIMAL}};
+
+    // Part 1 as a regular (apps x policies) grid...
+    SweepGrid grid;
+    grid.config(cfg).apps(apps).arch(ArchKind::IRONHIDE);
+    for (const P &p : policies) {
+        IronhideOptions opts;
+        opts.policy = p.policy;
+        grid.options(opts, p.label);
+    }
+    std::vector<SweepJob> jobs = grid.jobs();
+    const std::size_t grid_jobs = jobs.size();
+
+    // ...plus the irregular re-homing sensitivity cells appended as
+    // hand-built jobs (per-job SysConfig), all run by one parallel pass.
+    const AppSpec sens_app = findApp("<MEMCACHED, OS>", scale);
+    const std::vector<unsigned> mults = {1u, 4u, 8u};
+    for (const unsigned mult : mults) {
+        SweepJob job;
+        job.app = sens_app;
+        job.arch = ArchKind::IRONHIDE;
+        job.cfg = cfg;
+        job.cfg.rehomePerPage = cfg.rehomePerPage * mult;
+        job.tag = strprintf("rehome x%u", mult);
+        jobs.push_back(std::move(job));
+    }
+
+    const std::vector<ExperimentResult> results =
+        SweepRunner(sweepThreads()).run(jobs);
+
     Table table({"application", "policy", "completion(ms)",
                  "reconfig events", "one-time ovh(ms)"});
-    for (const AppSpec &app : apps) {
-        struct P
-        {
-            const char *label;
-            SplitPolicy policy;
-        };
-        for (const P p : {P{"static 32/32", SplitPolicy::STATIC_HALF},
-                          P{"heuristic x1", SplitPolicy::HEURISTIC},
-                          P{"optimal x1", SplitPolicy::OPTIMAL}}) {
-            IronhideOptions opts;
-            opts.policy = p.policy;
-            const ExperimentResult r =
-                runExperiment(app, ArchKind::IRONHIDE, cfg, opts);
-            table.addRow(
-                {app.name, p.label, Table::num(r.run.completionMs(), 3),
-                 p.policy == SplitPolicy::STATIC_HALF ? "0" : "1",
-                 Table::num(cyclesToMs(r.run.reconfigCycles), 3)});
-        }
-        table.addSeparator();
+    for (std::size_t i = 0; i < grid_jobs; ++i) {
+        const P &p = policies[i % policies.size()];
+        const ExperimentResult &r = results[i];
+        table.addRow({r.app, p.label, Table::num(r.run.completionMs(), 3),
+                      p.policy == SplitPolicy::STATIC_HALF ? "0" : "1",
+                      Table::num(cyclesToMs(r.run.reconfigCycles), 3)});
+        if (i % policies.size() == policies.size() - 1)
+            table.addSeparator();
     }
     table.print();
 
@@ -58,20 +87,21 @@ main()
     // one-time event mattered?
     Table sens({"rehome cost (cycles/page)", "completion(ms)",
                 "one-time ovh(ms)", "ovh share"});
-    const AppSpec app = findApp("<MEMCACHED, OS>", scale);
-    for (unsigned mult : {1u, 4u, 8u}) {
-        SysConfig c2 = cfg;
-        c2.rehomePerPage = cfg.rehomePerPage * mult;
-        const ExperimentResult r =
-            runExperiment(app, ArchKind::IRONHIDE, c2);
-        sens.addRow({strprintf("%llu",
-                               (unsigned long long)c2.rehomePerPage),
-                     Table::num(r.run.completionMs(), 3),
-                     Table::num(cyclesToMs(r.run.reconfigCycles), 3),
-                     Table::pct(cyclesToMs(r.run.reconfigCycles) /
-                                r.run.completionMs())});
+    for (std::size_t i = 0; i < mults.size(); ++i) {
+        const SweepJob &job = jobs[grid_jobs + i];
+        const ExperimentResult &r = results[grid_jobs + i];
+        sens.addRow(
+            {strprintf("%llu",
+                       (unsigned long long)job.cfg.rehomePerPage),
+             Table::num(r.run.completionMs(), 3),
+             Table::num(cyclesToMs(r.run.reconfigCycles), 3),
+             Table::pct(cyclesToMs(r.run.reconfigCycles) /
+                        r.run.completionMs())});
     }
-    std::printf("\nRe-homing cost sensitivity (%s):\n", app.name.c_str());
+    std::printf("\nRe-homing cost sensitivity (%s):\n",
+                sens_app.name.c_str());
     sens.print();
+
+    maybeWriteJsonReport(argc, argv, "abl_reconfig", jobs, results);
     return 0;
 }

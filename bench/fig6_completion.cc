@@ -18,20 +18,33 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace ih;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
     printBanner("Figure 6",
                 "Completion time (ms, simulated) per interactive "
                 "application,\nbroken into compute and "
                 "transition/purge/reconfig overheads.\nMarkers: secure-"
                 "cluster core count chosen by the predictor.");
 
-    const SysConfig cfg = benchConfig();
     const std::vector<AppSpec> apps = standardApps(benchScale());
+
+    // One job per (app, arch) cell, enumerated app-major so the rows
+    // below read exactly like the paper's figure; the runner executes
+    // them in parallel and hands the results back in job order.
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(benchConfig())
+            .apps(apps)
+            .archs({ArchKind::SGX_LIKE, ArchKind::MI6, ArchKind::IRONHIDE})
+            .jobs();
+    const std::vector<ExperimentResult> results =
+        SweepRunner(sweepThreads()).run(jobs);
 
     Table table({"application", "arch", "total(ms)", "compute(ms)",
                  "overhead(ms)", "ovh%", "secure cores"});
@@ -41,12 +54,13 @@ main()
         std::vector<double> sgx, mi6, ih, mi6_over_ih, purge_ratio;
     } user, os, all;
 
+    std::size_t next_result = 0;
     for (const AppSpec &app : apps) {
         double t_sgx = 0, t_mi6 = 0, t_ih = 0;
         double mi6_purge = 0, ih_reconf = 0;
         for (ArchKind kind :
              {ArchKind::SGX_LIKE, ArchKind::MI6, ArchKind::IRONHIDE}) {
-            const ExperimentResult r = runExperiment(app, kind, cfg);
+            const ExperimentResult &r = results[next_result++];
             const double total = r.run.completionMs();
             double overhead = cyclesToMs(r.run.transitionCycles);
             if (kind == ArchKind::IRONHIDE)
@@ -101,5 +115,7 @@ main()
     std::printf("\nMI6 purge vs IRONHIDE one-time reconfig overhead "
                 "(geomean ratio): %.0fx  (paper: ~706x)\n",
                 geomean(all.purge_ratio));
+
+    maybeWriteJsonReport(argc, argv, "fig6_completion", jobs, results);
     return 0;
 }

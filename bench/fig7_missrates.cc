@@ -14,30 +14,39 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace ih;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
     printBanner("Figure 7",
                 "Private L1 (a) and shared L2 (b) miss rates, MI6 vs "
                 "IRONHIDE.\nPaper: L1 improves up to ~5.9x under "
                 "IRONHIDE; L2 up to ~2x, with\n<TC, GRAPH> and "
                 "<LIGHTTPD, OS> as exceptions.");
 
-    const SysConfig cfg = benchConfig();
     const std::vector<AppSpec> apps = standardApps(benchScale());
+
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(benchConfig())
+            .apps(apps)
+            .archs({ArchKind::MI6, ArchKind::IRONHIDE})
+            .jobs();
+    const std::vector<ExperimentResult> results =
+        SweepRunner(sweepThreads()).run(jobs);
 
     Table table({"application", "L1 MI6", "L1 IRONHIDE", "L1 gain",
                  "L2 MI6", "L2 IRONHIDE", "L2 gain"});
     std::vector<double> l1_mi6, l1_ih, l2_mi6, l2_ih;
 
-    for (const AppSpec &app : apps) {
-        const ExperimentResult mi6 =
-            runExperiment(app, ArchKind::MI6, cfg);
-        const ExperimentResult ih =
-            runExperiment(app, ArchKind::IRONHIDE, cfg);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppSpec &app = apps[i];
+        const ExperimentResult &mi6 = results[2 * i];
+        const ExperimentResult &ih = results[2 * i + 1];
         table.addRow({app.name, Table::pct(mi6.run.l1MissRate),
                       Table::pct(ih.run.l1MissRate),
                       Table::num(safeDiv(mi6.run.l1MissRate,
@@ -58,5 +67,7 @@ main()
                   Table::pct(geomean(l2_mi6)), Table::pct(geomean(l2_ih)),
                   Table::num(geomean(l2_mi6) / geomean(l2_ih)) + "x"});
     table.print();
+
+    maybeWriteJsonReport(argc, argv, "fig7_missrates", jobs, results);
     return 0;
 }

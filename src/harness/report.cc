@@ -95,4 +95,149 @@ printBanner(const std::string &experiment_id,
                 description.c_str());
 }
 
+void
+JsonWriter::preValue()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!hasElem_.empty()) {
+        if (hasElem_.back())
+            out_ += ',';
+        hasElem_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    out_ += '{';
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    IH_ASSERT(!hasElem_.empty() && !afterKey_,
+              "unbalanced endObject in JSON writer");
+    hasElem_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    out_ += '[';
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    IH_ASSERT(!hasElem_.empty() && !afterKey_,
+              "unbalanced endArray in JSON writer");
+    hasElem_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    IH_ASSERT(!afterKey_, "JSON key '%s' follows another key", k.c_str());
+    preValue();
+    out_ += '"' + escape(k) + "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    out_ += '"' + escape(v) + '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    // %.17g round-trips doubles; trim the common integral case.
+    out_ += strprintf("%.17g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += strprintf("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    if (written != text.size() || std::fclose(f) != 0)
+        fatal("short write to '%s' (%zu of %zu bytes)", path.c_str(),
+              written, text.size());
+}
+
 } // namespace ih

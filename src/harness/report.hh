@@ -1,13 +1,15 @@
 /**
  * @file
- * Plain-text reporting: fixed-width tables, normalization helpers and
- * geomean rows, shared by every bench binary so the regenerated figures
- * all read the same way.
+ * Reporting: fixed-width plain-text tables, normalization helpers and
+ * geomean rows shared by every bench binary so the regenerated figures
+ * all read the same way, plus a minimal streaming JSON writer for the
+ * machine-readable sweep reports.
  */
 
 #ifndef IH_HARNESS_REPORT_HH
 #define IH_HARNESS_REPORT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,47 @@ class Table
 /** Print a bench banner with the figure/table being regenerated. */
 void printBanner(const std::string &experiment_id,
                  const std::string &description);
+
+/**
+ * Minimal streaming JSON writer. Commas and quoting are handled
+ * internally; the caller is responsible for balancing begin/end calls.
+ * No external dependency so the harness stays self-contained.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(bool v);
+
+    /** The document built so far. */
+    const std::string &str() const { return out_; }
+
+    /** JSON string escaping (quotes, backslashes, control chars). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void preValue();
+
+    std::string out_;
+    /** One entry per open container: has it seen an element yet? */
+    std::vector<bool> hasElem_;
+    bool afterKey_ = false;
+};
+
+/** Write @p text to @p path, fatal() on failure. */
+void writeTextFile(const std::string &path, const std::string &text);
 
 } // namespace ih
 

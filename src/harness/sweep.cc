@@ -1,0 +1,400 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "harness/report.hh"
+#include "sim/log.hh"
+
+namespace ih
+{
+
+// --------------------------------------------------------------------------
+// SweepGrid
+// --------------------------------------------------------------------------
+
+SweepGrid &
+SweepGrid::config(const SysConfig &cfg)
+{
+    cfg_ = cfg;
+    cfgSet_ = true;
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::app(AppSpec app)
+{
+    apps_.push_back(std::move(app));
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::apps(const std::vector<AppSpec> &apps)
+{
+    apps_.insert(apps_.end(), apps.begin(), apps.end());
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::arch(ArchKind kind)
+{
+    archs_.push_back(kind);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::archs(std::initializer_list<ArchKind> kinds)
+{
+    archs_.insert(archs_.end(), kinds.begin(), kinds.end());
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::options(const IronhideOptions &opts, std::string tag)
+{
+    opts_.emplace_back(opts, std::move(tag));
+    return *this;
+}
+
+std::vector<SweepJob>
+SweepGrid::jobs() const
+{
+    SysConfig cfg = cfg_;
+    if (!cfgSet_)
+        cfg.validate();
+
+    const std::vector<ArchKind> archs =
+        archs_.empty() ? std::vector<ArchKind>{ArchKind::IRONHIDE}
+                       : archs_;
+    const std::vector<std::pair<IronhideOptions, std::string>> opts =
+        opts_.empty()
+            ? std::vector<std::pair<IronhideOptions, std::string>>{
+                  {IronhideOptions{}, ""}}
+            : opts_;
+
+    std::vector<SweepJob> out;
+    out.reserve(apps_.size() * archs.size() * opts.size());
+    for (const AppSpec &app : apps_) {
+        for (const ArchKind kind : archs) {
+            for (const auto &[ihopts, tag] : opts) {
+                SweepJob job;
+                job.app = app;
+                job.arch = kind;
+                job.cfg = cfg;
+                job.ihopts = ihopts;
+                job.tag = tag;
+                out.push_back(std::move(job));
+            }
+        }
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------------
+// SweepRunner
+// --------------------------------------------------------------------------
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const Progress &progress) const
+{
+    std::vector<ExperimentResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, jobs.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mtx; // guards first_error + progress callback
+    std::exception_ptr first_error;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                if (first_error)
+                    return; // stop claiming work after a failure
+            }
+            try {
+                const SweepJob &job = jobs[i];
+                results[i] =
+                    runExperiment(job.app, job.arch, job.cfg, job.ihopts);
+                const std::size_t n = done.fetch_add(1) + 1;
+                if (progress) {
+                    std::lock_guard<std::mutex> lk(mtx);
+                    progress(n, jobs.size(), results[i]);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mtx);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (workers == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+// --------------------------------------------------------------------------
+// Summaries
+// --------------------------------------------------------------------------
+
+const ArchAggregate *
+SweepSummary::find(const std::string &arch) const
+{
+    for (const ArchAggregate &a : byArch)
+        if (a.arch == arch)
+            return &a;
+    return nullptr;
+}
+
+double
+SweepSummary::speedup(const std::string &fast, const std::string &slow) const
+{
+    const ArchAggregate *f = find(fast);
+    const ArchAggregate *s = find(slow);
+    if (!f || !s)
+        return 0.0;
+    return safeDiv(s->geomeanCompletionMs, f->geomeanCompletionMs);
+}
+
+SweepSummary
+summarize(const std::vector<ExperimentResult> &results)
+{
+    SweepSummary out;
+
+    struct Acc
+    {
+        std::vector<double> completionMs, l1, l2;
+        std::uint64_t secureCores = 0;
+        ArchAggregate agg;
+    };
+    std::vector<Acc> accs; // ordered by first appearance
+
+    for (const ExperimentResult &r : results) {
+        Acc *acc = nullptr;
+        for (Acc &a : accs)
+            if (a.agg.arch == r.arch)
+                acc = &a;
+        if (!acc) {
+            accs.emplace_back();
+            acc = &accs.back();
+            acc->agg.arch = r.arch;
+        }
+        ++acc->agg.jobs;
+        acc->completionMs.push_back(r.run.completionMs());
+        // Clamp zero rates so geomean stays meaningful for sweeps where
+        // some cells miss never (matches the fig7 convention).
+        acc->l1.push_back(std::max(1e-6, r.run.l1MissRate));
+        acc->l2.push_back(std::max(1e-6, r.run.l2MissRate));
+        acc->secureCores += r.run.secureCores;
+        acc->agg.totalPurgeCycles += r.run.purgeCycles;
+        acc->agg.totalTransitionCycles += r.run.transitionCycles;
+        acc->agg.totalReconfigCycles += r.run.reconfigCycles;
+
+        StatGroup &g = out.stats;
+        g.counter(r.arch + ".jobs").inc();
+        g.counter(r.arch + ".instructions").inc(r.run.instructions);
+        g.counter(r.arch + ".transitions").inc(r.run.transitions);
+        g.counter(r.arch + ".purge_cycles").inc(r.run.purgeCycles);
+        g.counter(r.arch + ".transition_cycles")
+            .inc(r.run.transitionCycles);
+        g.counter(r.arch + ".reconfig_cycles").inc(r.run.reconfigCycles);
+        g.counter(r.arch + ".completion_cycles").inc(r.run.completion);
+        g.counter(r.arch + ".isolation_violations")
+            .inc(r.run.isolationViolations);
+    }
+
+    for (Acc &a : accs) {
+        a.agg.geomeanCompletionMs = geomean(a.completionMs);
+        a.agg.geomeanL1MissRate = geomean(a.l1);
+        a.agg.geomeanL2MissRate = geomean(a.l2);
+        a.agg.meanSecureCores =
+            safeDiv(static_cast<double>(a.secureCores),
+                    static_cast<double>(a.agg.jobs));
+        out.byArch.push_back(a.agg);
+    }
+    return out;
+}
+
+unsigned
+sweepThreads()
+{
+    if (const char *env = std::getenv("IRONHIDE_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        // strtoul silently wraps negatives, so reject them explicitly,
+        // along with absurd counts that would oversubscribe the host.
+        if (env[0] != '-' && end && *end == '\0' && v <= 4096)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid IRONHIDE_THREADS='%s'", env);
+    }
+    return 0;
+}
+
+// --------------------------------------------------------------------------
+// JSON report
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+const char *
+policyName(SplitPolicy p)
+{
+    switch (p) {
+      case SplitPolicy::HEURISTIC:
+        return "heuristic";
+      case SplitPolicy::OPTIMAL:
+        return "optimal";
+      case SplitPolicy::FIXED:
+        return "fixed";
+      case SplitPolicy::STATIC_HALF:
+        return "static_half";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+sweepToJson(const std::string &sweep_id, const std::vector<SweepJob> &jobs,
+            const std::vector<ExperimentResult> &results,
+            const SweepSummary &summary)
+{
+    IH_ASSERT(jobs.size() == results.size(),
+              "sweepToJson: %zu jobs vs %zu results", jobs.size(),
+              results.size());
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("sweep").value(sweep_id);
+    w.key("jobs").value(std::uint64_t{jobs.size()});
+
+    w.key("results").beginArray();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        const ExperimentResult &r = results[i];
+        w.beginObject();
+        w.key("app").value(r.app);
+        w.key("arch").value(r.arch);
+        if (!job.tag.empty())
+            w.key("tag").value(job.tag);
+        if (job.arch == ArchKind::IRONHIDE)
+            w.key("policy").value(policyName(job.ihopts.policy));
+        w.key("completion_ms").value(r.run.completionMs());
+        w.key("purge_ms").value(cyclesToMs(r.run.purgeCycles));
+        w.key("transition_ms").value(cyclesToMs(r.run.transitionCycles));
+        w.key("reconfig_ms").value(cyclesToMs(r.run.reconfigCycles));
+        w.key("transitions").value(r.run.transitions);
+        w.key("l1_miss_rate").value(r.run.l1MissRate);
+        w.key("l2_miss_rate").value(r.run.l2MissRate);
+        w.key("secure_cores").value(std::uint64_t{r.run.secureCores});
+        w.key("decided_split").value(std::uint64_t{r.decidedSplit});
+        w.key("probes").value(std::uint64_t{r.probes});
+        w.key("instructions").value(r.run.instructions);
+        w.key("isolation_violations").value(r.run.isolationViolations);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("summary").beginArray();
+    for (const ArchAggregate &a : summary.byArch) {
+        w.beginObject();
+        w.key("arch").value(a.arch);
+        w.key("jobs").value(std::uint64_t{a.jobs});
+        w.key("geomean_completion_ms").value(a.geomeanCompletionMs);
+        w.key("geomean_l1_miss_rate").value(a.geomeanL1MissRate);
+        w.key("geomean_l2_miss_rate").value(a.geomeanL2MissRate);
+        w.key("mean_secure_cores").value(a.meanSecureCores);
+        w.key("total_purge_ms").value(cyclesToMs(a.totalPurgeCycles));
+        w.key("total_transition_ms")
+            .value(cyclesToMs(a.totalTransitionCycles));
+        w.key("total_reconfig_ms")
+            .value(cyclesToMs(a.totalReconfigCycles));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stats").beginObject();
+    for (const auto &[name, counter] : summary.stats.counters())
+        w.key(name).value(counter.value());
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+const char *
+jsonReportPath(int argc, char **argv)
+{
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                fatal("--json requires a file argument");
+            path = argv[i + 1];
+        }
+    }
+    if (path) {
+        // Probe writability now ("a" keeps existing content) so a bad
+        // path fails before the sweep, not after minutes of runs.
+        std::FILE *f = std::fopen(path, "a");
+        if (!f)
+            fatal("cannot open '%s' for writing", path);
+        std::fclose(f);
+    }
+    return path;
+}
+
+bool
+maybeWriteJsonReport(int argc, char **argv, const std::string &sweep_id,
+                     const std::vector<SweepJob> &jobs,
+                     const std::vector<ExperimentResult> &results)
+{
+    const char *path = jsonReportPath(argc, argv);
+    if (!path)
+        return false;
+    writeTextFile(path,
+                  sweepToJson(sweep_id, jobs, results, summarize(results)) +
+                      "\n");
+    std::printf("wrote JSON report: %s\n", path);
+    return true;
+}
+
+} // namespace ih

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * The paper's figures are grids of independent experiments — every
+ * (application × architecture × IRONHIDE options) cell builds a fresh
+ * machine inside runExperiment(), so cells share no simulator state and
+ * can run concurrently. SweepGrid enumerates such cross products in a
+ * canonical order (app-major, then arch, then options), SweepRunner
+ * fans the jobs out over a thread pool and collects the results in job
+ * order regardless of scheduling, and summarize() folds the results
+ * into per-architecture geomean/ratio aggregates backed by a StatGroup.
+ * sweepToJson() renders jobs+results+summary as a machine-readable
+ * report through the harness/report JSON writer.
+ *
+ * Determinism contract: results depend only on the job list, never on
+ * the worker count or interleaving. run(jobs, 1 thread) and
+ * run(jobs, N threads) produce identical ExperimentResults in
+ * identical order (tests/test_sweep.cc holds this invariant).
+ */
+
+#ifndef IH_HARNESS_SWEEP_HH
+#define IH_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sim/stats.hh"
+
+namespace ih
+{
+
+/** One cell of a sweep: everything runExperiment() needs. */
+struct SweepJob
+{
+    AppSpec app;
+    ArchKind arch = ArchKind::IRONHIDE;
+    SysConfig cfg;
+    IronhideOptions ihopts;
+    /** Free-form label threaded through to reports ("rehome x4"…). */
+    std::string tag;
+};
+
+/**
+ * Builder for regular (apps × archs × options) cross-product grids.
+ * Irregular grids (e.g. per-job SysConfig overrides) are expressed by
+ * constructing the SweepJob vector directly.
+ */
+class SweepGrid
+{
+  public:
+    SweepGrid &config(const SysConfig &cfg);
+    SweepGrid &app(AppSpec app);
+    SweepGrid &apps(const std::vector<AppSpec> &apps);
+    SweepGrid &arch(ArchKind kind);
+    SweepGrid &archs(std::initializer_list<ArchKind> kinds);
+    SweepGrid &options(const IronhideOptions &opts, std::string tag = "");
+
+    /**
+     * Enumerate the grid app-major, then arch, then options — the
+     * canonical job order every report uses. Defaults apply when a
+     * dimension was never populated: arch IRONHIDE, one default
+     * IronhideOptions, the default-validated SysConfig.
+     */
+    std::vector<SweepJob> jobs() const;
+
+  private:
+    SysConfig cfg_;
+    bool cfgSet_ = false;
+    std::vector<AppSpec> apps_;
+    std::vector<ArchKind> archs_;
+    std::vector<std::pair<IronhideOptions, std::string>> opts_;
+};
+
+/**
+ * Thread-pool runner for independent experiment jobs.
+ *
+ * Workers claim jobs from a shared index and write results into the
+ * slot of the job they ran, so the output order is the input order and
+ * the parallel schedule is unobservable.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    /** Effective worker count (>= 1). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Thread-safe completion hook: (finished jobs, total jobs, the
+     * result that just completed). Called under an internal lock.
+     */
+    using Progress = std::function<void(
+        std::size_t done, std::size_t total, const ExperimentResult &r)>;
+
+    /**
+     * Run every job and return the results in job order. Exceptions
+     * thrown by a job are rethrown in the caller after all workers
+     * stop claiming new jobs.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<SweepJob> &jobs,
+        const Progress &progress = nullptr) const;
+
+  private:
+    unsigned threads_;
+};
+
+/** Per-architecture aggregate over a sweep's results. */
+struct ArchAggregate
+{
+    std::string arch;
+    std::size_t jobs = 0;
+    double geomeanCompletionMs = 0.0;
+    double geomeanL1MissRate = 0.0;
+    double geomeanL2MissRate = 0.0;
+    double meanSecureCores = 0.0;
+    Cycle totalPurgeCycles = 0;
+    Cycle totalTransitionCycles = 0;
+    Cycle totalReconfigCycles = 0;
+};
+
+/**
+ * Sweep-wide summary. The StatGroup carries the integral aggregates as
+ * named counters ("<arch>.jobs", "<arch>.purge_cycles", …) so the
+ * sweep plugs into the same stats walkers as the simulator components;
+ * the geomean/ratio view lives in the ArchAggregate list.
+ */
+struct SweepSummary
+{
+    StatGroup stats{"sweep"};
+    /** Ordered by first appearance in the result list. */
+    std::vector<ArchAggregate> byArch;
+
+    /** Aggregate for @p arch; nullptr when absent. */
+    const ArchAggregate *find(const std::string &arch) const;
+
+    /**
+     * Geomean completion-time speedup of @p fast relative to @p slow
+     * (e.g. speedup("IRONHIDE", "MI6") ~ 2.1 for the paper's grid).
+     * Returns 0 when either side is absent.
+     */
+    double speedup(const std::string &fast, const std::string &slow) const;
+};
+
+/** Fold @p results into per-architecture aggregates. */
+SweepSummary summarize(const std::vector<ExperimentResult> &results);
+
+/** Bench worker count from the IRONHIDE_THREADS env var
+ *  (0 / unset = hardware concurrency). */
+unsigned sweepThreads();
+
+/**
+ * Machine-readable report: sweep id, one record per (job, result)
+ * pair, and the per-arch summary, as a single JSON document.
+ * @p jobs and @p results must be parallel vectors.
+ */
+std::string sweepToJson(const std::string &sweep_id,
+                        const std::vector<SweepJob> &jobs,
+                        const std::vector<ExperimentResult> &results,
+                        const SweepSummary &summary);
+
+/**
+ * Path from a "--json <path>" argv pair, nullptr when absent. A bare
+ * trailing "--json" is a fatal user error — benches call this before
+ * the sweep so a bad invocation fails fast, not after minutes of runs.
+ */
+const char *jsonReportPath(int argc, char **argv);
+
+/**
+ * Bench plumbing: when argv carries "--json <path>", write the sweep
+ * report there and inform() about it. Returns true when written.
+ */
+bool maybeWriteJsonReport(int argc, char **argv,
+                          const std::string &sweep_id,
+                          const std::vector<SweepJob> &jobs,
+                          const std::vector<ExperimentResult> &results);
+
+} // namespace ih
+
+#endif // IH_HARNESS_SWEEP_HH

@@ -31,7 +31,8 @@ struct Coord
     int x = 0;
     int y = 0;
 
-    bool operator==(const Coord &o) const = default;
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+    bool operator!=(const Coord &o) const { return !(*this == o); }
 };
 
 /** Geometry of the mesh and the MC attachment points. */

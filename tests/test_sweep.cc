@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Sweep-engine tests: grid enumeration order, the parallel-vs-serial
+ * determinism contract of SweepRunner, edge cases (empty grid, single
+ * job), summary aggregation, and the JSON report writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+using namespace ih;
+
+namespace
+{
+
+/** A fast app spec so the parallel runs stay sub-second. */
+AppSpec
+tiny(const char *name = "<AES, QUERY>")
+{
+    AppSpec spec = findApp(name, 0.05);
+    spec.interactions = 4;
+    spec.insecureThreads = 2;
+    spec.secureThreads = 2;
+    return spec;
+}
+
+/** Job list exercising several apps and architectures. */
+std::vector<SweepJob>
+testJobs()
+{
+    return SweepGrid()
+        .config(SysConfig::smallTest())
+        .app(tiny("<AES, QUERY>"))
+        .app(tiny("<SSSP, GRAPH>"))
+        .archs({ArchKind::INSECURE, ArchKind::SGX_LIKE, ArchKind::MI6})
+        .jobs();
+}
+
+/** Field-by-field equality of two results. */
+void
+expectSameResult(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.decidedSplit, b.decidedSplit);
+    EXPECT_EQ(a.probes, b.probes);
+    EXPECT_EQ(a.run.completion, b.run.completion);
+    EXPECT_EQ(a.run.purgeCycles, b.run.purgeCycles);
+    EXPECT_EQ(a.run.transitionCycles, b.run.transitionCycles);
+    EXPECT_EQ(a.run.reconfigCycles, b.run.reconfigCycles);
+    EXPECT_EQ(a.run.transitions, b.run.transitions);
+    EXPECT_EQ(a.run.instructions, b.run.instructions);
+    EXPECT_DOUBLE_EQ(a.run.l1MissRate, b.run.l1MissRate);
+    EXPECT_DOUBLE_EQ(a.run.l2MissRate, b.run.l2MissRate);
+    EXPECT_EQ(a.run.secureCores, b.run.secureCores);
+    EXPECT_EQ(a.run.isolationViolations, b.run.isolationViolations);
+}
+
+} // namespace
+
+TEST(SweepGrid, EnumeratesAppMajorArchThenOptions)
+{
+    IronhideOptions fixed4;
+    fixed4.policy = SplitPolicy::FIXED;
+    fixed4.fixedSplit = 4;
+    IronhideOptions fixed6 = fixed4;
+    fixed6.fixedSplit = 6;
+
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(SysConfig::smallTest())
+            .app(tiny("<AES, QUERY>"))
+            .app(tiny("<SSSP, GRAPH>"))
+            .archs({ArchKind::MI6, ArchKind::IRONHIDE})
+            .options(fixed4, "s4")
+            .options(fixed6, "s6")
+            .jobs();
+
+    ASSERT_EQ(jobs.size(), 2u * 2u * 2u);
+    // App-major...
+    EXPECT_EQ(jobs[0].app.name, "<AES, QUERY>");
+    EXPECT_EQ(jobs[4].app.name, "<SSSP, GRAPH>");
+    // ...then arch...
+    EXPECT_EQ(jobs[0].arch, ArchKind::MI6);
+    EXPECT_EQ(jobs[2].arch, ArchKind::IRONHIDE);
+    // ...then options, innermost.
+    EXPECT_EQ(jobs[0].tag, "s4");
+    EXPECT_EQ(jobs[1].tag, "s6");
+    EXPECT_EQ(jobs[3].ihopts.fixedSplit, 6u);
+}
+
+TEST(SweepGrid, DefaultsToIronhideWithOneOptionSet)
+{
+    const std::vector<SweepJob> jobs =
+        SweepGrid().config(SysConfig::smallTest()).app(tiny()).jobs();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].arch, ArchKind::IRONHIDE);
+    EXPECT_EQ(jobs[0].ihopts.policy, SplitPolicy::HEURISTIC);
+    EXPECT_EQ(jobs[0].tag, "");
+}
+
+TEST(SweepRunner, EmptyGridYieldsEmptyResults)
+{
+    const std::vector<ExperimentResult> r = SweepRunner(4).run({});
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(SweepRunner, SingleJob)
+{
+    std::vector<SweepJob> jobs;
+    SweepJob job;
+    job.app = tiny();
+    job.arch = ArchKind::INSECURE;
+    job.cfg = SysConfig::smallTest();
+    jobs.push_back(job);
+
+    const std::vector<ExperimentResult> r = SweepRunner(8).run(jobs);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].app, job.app.name);
+    EXPECT_EQ(r[0].arch, "insecure");
+    EXPECT_GT(r[0].run.completion, 0u);
+}
+
+TEST(SweepRunner, ResultsArriveInJobOrder)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const std::vector<ExperimentResult> r = SweepRunner(4).run(jobs);
+    ASSERT_EQ(r.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(r[i].app, jobs[i].app.name);
+        EXPECT_EQ(r[i].arch, archName(jobs[i].arch));
+    }
+}
+
+TEST(SweepRunner, ParallelMatchesSerialExactly)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const std::vector<ExperimentResult> serial =
+        SweepRunner(1).run(jobs);
+    const std::vector<ExperimentResult> parallel =
+        SweepRunner(4).run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameResult(serial[i], parallel[i]);
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const std::vector<ExperimentResult> base = SweepRunner(2).run(jobs);
+    for (const unsigned n : {3u, 8u}) {
+        const std::vector<ExperimentResult> r = SweepRunner(n).run(jobs);
+        ASSERT_EQ(r.size(), base.size());
+        for (std::size_t i = 0; i < r.size(); ++i)
+            expectSameResult(base[i], r[i]);
+    }
+}
+
+TEST(SweepRunner, ZeroMeansHardwareConcurrency)
+{
+    EXPECT_GE(SweepRunner(0).threads(), 1u);
+    EXPECT_EQ(SweepRunner(5).threads(), 5u);
+}
+
+TEST(SweepRunner, ProgressSeesEveryJobExactlyOnce)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    const std::vector<ExperimentResult> r = SweepRunner(4).run(
+        jobs, [&](std::size_t done, std::size_t total,
+                  const ExperimentResult &res) {
+            ++calls;
+            EXPECT_EQ(total, jobs.size());
+            EXPECT_GE(done, 1u);
+            EXPECT_LE(done, total);
+            EXPECT_FALSE(res.app.empty());
+            last_done = std::max(last_done, done);
+        });
+    EXPECT_EQ(calls, jobs.size());
+    EXPECT_EQ(last_done, jobs.size());
+}
+
+TEST(SweepRunner, JobExceptionPropagatesToCaller)
+{
+    // A grid whose app factory throws: the runner must surface the
+    // exception instead of deadlocking or aborting.
+    std::vector<SweepJob> jobs(3);
+    for (SweepJob &job : jobs) {
+        job.app = tiny();
+        job.arch = ArchKind::INSECURE;
+        job.cfg = SysConfig::smallTest();
+    }
+    jobs[1].app.make = [](const SysConfig &) -> WorkloadPair {
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(SweepRunner(2).run(jobs), std::runtime_error);
+}
+
+TEST(SweepSummary, AggregatesPerArchWithStatGroup)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const std::vector<ExperimentResult> r = SweepRunner(4).run(jobs);
+    const SweepSummary s = summarize(r);
+
+    // Three architectures, in first-appearance order.
+    ASSERT_EQ(s.byArch.size(), 3u);
+    EXPECT_EQ(s.byArch[0].arch, "insecure");
+    EXPECT_EQ(s.byArch[1].arch, "sgx");
+    EXPECT_EQ(s.byArch[2].arch, "mi6");
+    for (const ArchAggregate &a : s.byArch) {
+        EXPECT_EQ(a.jobs, 2u);
+        EXPECT_GT(a.geomeanCompletionMs, 0.0);
+    }
+
+    // StatGroup counters mirror the aggregates.
+    EXPECT_EQ(s.stats.value("mi6.jobs"), 2u);
+    EXPECT_GT(s.stats.value("mi6.purge_cycles"), 0u);
+    EXPECT_EQ(s.stats.value("insecure.purge_cycles"), 0u);
+    EXPECT_GT(s.stats.value("sgx.transition_cycles"), 0u);
+
+    // The insecure baseline beats MI6; speedup() agrees with the
+    // geomeans it is defined over.
+    const double sp = s.speedup("insecure", "mi6");
+    EXPECT_GT(sp, 1.0);
+    EXPECT_DOUBLE_EQ(sp, s.byArch[2].geomeanCompletionMs /
+                             s.byArch[0].geomeanCompletionMs);
+    EXPECT_EQ(s.speedup("insecure", "absent"), 0.0);
+}
+
+TEST(JsonWriter, WritesNestedDocuments)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("x\"y");
+    w.key("n").value(std::uint64_t{7});
+    w.key("f").value(0.5);
+    w.key("ok").value(true);
+    w.key("list").beginArray().value("a").value("b").endArray();
+    w.key("nested").beginObject().key("k").value("v").endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"x\\\"y\",\"n\":7,\"f\":0.5,"
+                       "\"ok\":true,\"list\":[\"a\",\"b\"],"
+                       "\"nested\":{\"k\":\"v\"}}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\nb\\c\td"), "a\\nb\\\\c\\td");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(SweepJson, ReportContainsJobsResultsAndSummary)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const std::vector<ExperimentResult> r = SweepRunner(4).run(jobs);
+    const std::string json =
+        sweepToJson("unit_sweep", jobs, r, summarize(r));
+
+    EXPECT_NE(json.find("\"sweep\":\"unit_sweep\""), std::string::npos);
+    EXPECT_NE(json.find("\"jobs\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"arch\":\"mi6\""), std::string::npos);
+    EXPECT_NE(json.find("\"summary\":["), std::string::npos);
+    EXPECT_NE(json.find("\"mi6.purge_cycles\":"), std::string::npos);
+    // Balanced braces/brackets: a cheap structural sanity check.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
