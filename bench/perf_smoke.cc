@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Simulator-performance smoke benchmark: times a fixed mini-sweep (the
+ * Figure 6 grid — every standard application under SGX-like, MI6 and
+ * IRONHIDE — at a fixed reduced scale) and reports wall-clock speed
+ * alongside a determinism checksum.
+ *
+ * Unlike the figure benches, the quantity of interest here is *host*
+ * time, not simulated time: the bench exists so every hot-path PR
+ * records a before/after number and CI keeps a perf trajectory. The
+ * workload is pinned (scale, thread count and job grid are fixed
+ * defaults) so numbers are comparable across commits on the same
+ * machine.
+ *
+ * `--json <path>` writes a machine-readable report (BENCH_perf.json
+ * schema, see README "Performance"):
+ *
+ *   {
+ *     "schema": "BENCH_perf/v1",
+ *     "bench": "perf_smoke",
+ *     "scale": ..., "threads": ..., "repeats": ..., "jobs": ...,
+ *     "wall_ms": ..., "wall_ms_best": ..., "jobs_per_sec": ...,
+ *     "sim_completion_cycles_total": ...,  // determinism checksum
+ *     "sim_instructions_total": ...,
+ *     "per_arch": [ {"arch": ..., "completion_cycles": ...}, ... ]
+ *   }
+ *
+ * Knobs: IRONHIDE_PERF_SCALE (default 0.1), IRONHIDE_PERF_REPEATS
+ * (default 1, best-of-N), IRONHIDE_THREADS (default 1 — single-run
+ * speed is the quantity under test).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "sim/log.hh"
+
+using namespace ih;
+
+namespace
+{
+
+double
+envScale()
+{
+    const char *v = std::getenv("IRONHIDE_PERF_SCALE");
+    if (!v || !*v)
+        return 0.1;
+    const double s = std::atof(v);
+    if (s <= 0.0) {
+        warn("ignoring invalid IRONHIDE_PERF_SCALE='%s'", v);
+        return 0.1;
+    }
+    return s;
+}
+
+unsigned
+envRepeats()
+{
+    const char *v = std::getenv("IRONHIDE_PERF_REPEATS");
+    if (!v || !*v)
+        return 1;
+    const int n = std::atoi(v);
+    if (n < 1) {
+        warn("ignoring invalid IRONHIDE_PERF_REPEATS='%s'", v);
+        return 1;
+    }
+    return static_cast<unsigned>(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *json_path = jsonReportPath(argc, argv);
+    printBanner("perf_smoke",
+                "Times a fixed mini-sweep (fig6 grid, reduced scale) and "
+                "reports\nhost wall-clock speed plus a determinism "
+                "checksum. Simulator-\nperformance trajectory, not a "
+                "paper figure.");
+
+    const double scale = envScale();
+    const unsigned repeats = envRepeats();
+    // Same validated IRONHIDE_THREADS parsing as every other bench, but
+    // here 0/unset pins to 1 worker: single-run speed is the quantity
+    // under test, not sweep throughput.
+    unsigned threads = sweepThreads();
+    if (threads == 0)
+        threads = 1;
+
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(benchConfig())
+            .apps(standardApps(scale))
+            .archs({ArchKind::SGX_LIKE, ArchKind::MI6, ArchKind::IRONHIDE})
+            .jobs();
+
+    using Clock = std::chrono::steady_clock;
+    std::vector<ExperimentResult> results;
+    double wall_ms_sum = 0.0;
+    double wall_ms_best = 0.0;
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        const auto t0 = Clock::now();
+        std::vector<ExperimentResult> r = SweepRunner(threads).run(jobs);
+        const auto t1 = Clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        wall_ms_sum += ms;
+        if (rep == 0 || ms < wall_ms_best)
+            wall_ms_best = ms;
+        results = std::move(r);
+    }
+    const double wall_ms = wall_ms_sum / repeats;
+
+    // Determinism checksum: total simulated completion cycles and
+    // instructions over the grid. Identical inputs must reproduce these
+    // exactly on any machine, any thread count, any commit that claims
+    // stats purity.
+    std::uint64_t completion_total = 0;
+    std::uint64_t instructions_total = 0;
+    std::map<std::string, std::uint64_t> per_arch;
+    for (const ExperimentResult &r : results) {
+        completion_total += r.run.completion;
+        instructions_total += r.run.instructions;
+        per_arch[r.arch] += r.run.completion;
+    }
+
+    Table table({"metric", "value"});
+    table.addRow({"jobs", strprintf("%zu", jobs.size())});
+    table.addRow({"scale", Table::num(scale, 3)});
+    table.addRow({"threads", strprintf("%u", threads)});
+    table.addRow({"repeats", strprintf("%u", repeats)});
+    table.addRow({"wall(ms) mean", Table::num(wall_ms, 1)});
+    table.addRow({"wall(ms) best", Table::num(wall_ms_best, 1)});
+    table.addRow(
+        {"jobs/s", Table::num(jobs.size() / (wall_ms / 1000.0), 2)});
+    table.addRow({"sim cycles (checksum)",
+                  strprintf("%llu", static_cast<unsigned long long>(
+                                        completion_total))});
+    table.print();
+
+    if (json_path) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("schema").value("BENCH_perf/v1");
+        w.key("bench").value("perf_smoke");
+        w.key("scale").value(scale);
+        w.key("threads").value(threads);
+        w.key("repeats").value(repeats);
+        w.key("jobs").value(std::uint64_t{jobs.size()});
+        w.key("wall_ms").value(wall_ms);
+        w.key("wall_ms_best").value(wall_ms_best);
+        w.key("jobs_per_sec").value(jobs.size() / (wall_ms / 1000.0));
+        w.key("sim_completion_cycles_total").value(completion_total);
+        w.key("sim_instructions_total").value(instructions_total);
+        w.key("per_arch").beginArray();
+        for (const auto &[arch, cycles] : per_arch) {
+            w.beginObject();
+            w.key("arch").value(arch);
+            w.key("completion_cycles").value(cycles);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        writeTextFile(json_path, w.str() + "\n");
+        inform("wrote perf report: %s", json_path);
+    }
+    return 0;
+}

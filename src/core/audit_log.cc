@@ -21,23 +21,37 @@ auditKindName(AuditKind k)
     return "unknown";
 }
 
-void
-AuditLog::record(AuditKind kind, Cycle when, ProcId proc,
-                 std::string detail)
+bool
+AuditLog::keepsRecord(AuditKind kind)
 {
     // Purge/enter/exit events can number in the hundreds of thousands;
     // keep full records only for the rare structural events and count
     // the rest.
-    ++counts_[static_cast<unsigned>(kind)];
     switch (kind) {
       case AuditKind::ATTEST_OK:
       case AuditKind::ATTEST_FAIL:
       case AuditKind::RECONFIG:
-        events_.push_back({kind, when, proc, std::move(detail)});
-        break;
+        return true;
       default:
-        break;
+        return false;
     }
+}
+
+void
+AuditLog::record(AuditKind kind, Cycle when, ProcId proc)
+{
+    ++counts_[static_cast<unsigned>(kind)];
+    if (keepsRecord(kind))
+        events_.push_back({kind, when, proc, std::string()});
+}
+
+void
+AuditLog::record(AuditKind kind, Cycle when, ProcId proc,
+                 std::string detail)
+{
+    ++counts_[static_cast<unsigned>(kind)];
+    if (keepsRecord(kind))
+        events_.push_back({kind, when, proc, std::move(detail)});
 }
 
 std::uint64_t

@@ -49,8 +49,19 @@ struct AuditEvent
 class AuditLog
 {
   public:
+    /** Number of distinct AuditKind values (sizes the counter array). */
+    static constexpr unsigned NUM_KINDS =
+        static_cast<unsigned>(AuditKind::ACCESS_BLOCKED) + 1;
+
+    /**
+     * Count (and, for the rare structural kinds, record) an event.
+     * The detail-free overload is the hot path — enclave enter/exit and
+     * purge events fire per interaction and only bump the bound per-kind
+     * counter, never touching a std::string.
+     */
+    void record(AuditKind kind, Cycle when, ProcId proc);
     void record(AuditKind kind, Cycle when, ProcId proc,
-                std::string detail = "");
+                std::string detail);
 
     std::uint64_t count(AuditKind kind) const;
     const std::vector<AuditEvent> &events() const { return events_; }
@@ -60,8 +71,11 @@ class AuditLog
     std::string toString() const;
 
   private:
+    /** True when @p kind keeps full records (not just a count). */
+    static bool keepsRecord(AuditKind kind);
+
     std::vector<AuditEvent> events_;
-    std::uint64_t counts_[16] = {};
+    std::uint64_t counts_[NUM_KINDS] = {};
 };
 
 } // namespace ih

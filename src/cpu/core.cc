@@ -4,21 +4,23 @@ namespace ih
 {
 
 Core::Core(CoreId id, const SysConfig &cfg)
-    : id_(id), cfg_(cfg), stats_(strprintf("core.%u", id))
+    : id_(id), cfg_(cfg), stats_(strprintf("core.%u", id)),
+      statInstructions_(stats_.counter("instructions")),
+      statPipelineFlushes_(stats_.counter("pipeline_flushes"))
 {
 }
 
 Cycle
 Core::flushPipeline(Cycle when)
 {
-    stats_.counter("pipeline_flushes").inc();
+    statPipelineFlushes_.inc();
     return when + cfg_.pipelineFlushCycles;
 }
 
 void
 Core::retire(std::uint64_t instructions)
 {
-    stats_.counter("instructions").inc(instructions);
+    statInstructions_.inc(instructions);
 }
 
 void

@@ -46,6 +46,10 @@ class Core
     const SysConfig &cfg_;
     Cycle busyUntil_ = 0;
     StatGroup stats_;
+    // Bound once (StatGroup references are stable); retire() runs per
+    // phase thread and flushPipeline() per enclave transition.
+    Counter &statInstructions_;
+    Counter &statPipelineFlushes_;
 };
 
 } // namespace ih

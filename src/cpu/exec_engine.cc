@@ -1,8 +1,6 @@
 #include "cpu/exec_engine.hh"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
 
 #include "sim/log.hh"
 
@@ -40,7 +38,7 @@ ExecContext::accessShared(AddressSpace &space, VAddr va, MemOp op)
     lastL1Hit_ = r.l1Hit;
     lastL2Hit_ = r.l2Hit;
     ++instructions_;
-    engine_->stats_.counter("ipc_accesses").inc();
+    engine_->statIpcAccesses_.inc();
 }
 
 void
@@ -56,7 +54,7 @@ ExecContext::sync()
     now_ += ExecEngine::SYNC_BASE +
             static_cast<Cycle>(numThreads_) * ExecEngine::SYNC_PER_THREAD;
     ++instructions_;
-    engine_->stats_.counter("syncs").inc();
+    engine_->statSyncs_.inc();
 }
 
 Rng &
@@ -66,7 +64,11 @@ ExecContext::rng()
 }
 
 ExecEngine::ExecEngine(const SysConfig &cfg, MemorySystem &mem)
-    : cfg_(cfg), mem_(mem), stats_("engine")
+    : cfg_(cfg), mem_(mem), stats_("engine"),
+      statIpcAccesses_(stats_.counter("ipc_accesses")),
+      statSyncs_(stats_.counter("syncs")),
+      statPhases_(stats_.counter("phases")),
+      coreFree_(mem.numTiles(), 0)
 {
     for (CoreId c = 0; c < mem.numTiles(); ++c)
         cores_.push_back(std::make_unique<Core>(c, cfg));
@@ -89,35 +91,44 @@ ExecEngine::runPhase(Process &proc, SteppableTask &task, Cycle start)
         ctxs.emplace_back(*this, proc, i, n_threads, cores[i % cores.size()],
                           start);
 
-    // Per-core availability for the multiplexing model.
-    std::unordered_map<CoreId, Cycle> core_free;
+    // Per-core availability for the multiplexing model: a flat array
+    // indexed by CoreId (only this phase's cores are (re)initialized, so
+    // stale entries from earlier phases are never read).
     for (CoreId c : cores)
-        core_free[c] = start;
+        coreFree_[c] = start;
 
-    // Min-heap of runnable threads ordered by local time.
+    // Min-heap of runnable threads ordered by (local time, thread index),
+    // kept in a member vector so phases reuse its capacity. The pair
+    // comparison breaks time ties by thread index, so the service order
+    // is fully deterministic.
     using Entry = std::pair<Cycle, unsigned>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    const auto heap_cmp = std::greater<Entry>{};
+    heap_.clear();
     for (unsigned i = 0; i < n_threads; ++i)
-        heap.emplace(start, i);
+        heap_.emplace_back(start, i);
+    std::make_heap(heap_.begin(), heap_.end(), heap_cmp);
 
     PhaseResult res;
     res.finish = start;
-    while (!heap.empty()) {
-        const auto [t, idx] = heap.top();
-        heap.pop();
+    while (!heap_.empty()) {
+        const auto [t, idx] = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+        heap_.pop_back();
         ExecContext &ctx = ctxs[idx];
         // Wait for the core: co-located threads serialize.
-        Cycle &free_at = core_free[ctx.core()];
+        Cycle &free_at = coreFree_[ctx.core()];
         if (free_at > t) {
             ctx.now_ = free_at;
-            heap.emplace(ctx.now_, idx);
+            heap_.emplace_back(ctx.now_, idx);
+            std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
             continue;
         }
         const bool more = task.step(ctx);
         free_at = ctx.now_;
         ++res.steps;
         if (more) {
-            heap.emplace(ctx.now_, idx);
+            heap_.emplace_back(ctx.now_, idx);
+            std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
         } else {
             res.finish = std::max(res.finish, ctx.now_);
             core(ctx.core()).noteBusyUntil(ctx.now_);
@@ -128,7 +139,7 @@ ExecEngine::runPhase(Process &proc, SteppableTask &task, Cycle start)
 
     proc.stats().counter("instructions").inc(res.instructions);
     proc.stats().counter("phases").inc();
-    stats_.counter("phases").inc();
+    statPhases_.inc();
     return res;
 }
 

@@ -143,6 +143,17 @@ class ExecEngine
     MemorySystem &mem_;
     std::vector<std::unique_ptr<Core>> cores_;
     StatGroup stats_;
+    // Per-access counters bound once (StatGroup references are stable).
+    Counter &statIpcAccesses_;
+    Counter &statSyncs_;
+    Counter &statPhases_;
+    /**
+     * Scratch state reused across phases so runPhase() allocates nothing
+     * per step: next-free time per core (flat, indexed by CoreId) and the
+     * backing store of the runnable min-heap.
+     */
+    std::vector<Cycle> coreFree_;
+    std::vector<std::pair<Cycle, unsigned>> heap_;
 };
 
 } // namespace ih

@@ -9,7 +9,13 @@ Cache::Cache(std::string name, unsigned size_bytes, unsigned assoc,
              unsigned line_bytes, const std::string &repl,
              std::uint64_t seed)
     : name_(std::move(name)), assoc_(assoc), lineBytes_(line_bytes),
-      lineMask_(line_bytes - 1), stats_(name_)
+      lineMask_(line_bytes - 1), stats_(name_),
+      statHits_(stats_.counter("hits")),
+      statMisses_(stats_.counter("misses")),
+      statFills_(stats_.counter("fills")),
+      statEvictions_(stats_.counter("evictions")),
+      statDirtyEvictions_(stats_.counter("dirty_evictions")),
+      statInvalidations_(stats_.counter("invalidations"))
 {
     IH_ASSERT(line_bytes != 0 && (line_bytes & (line_bytes - 1)) == 0,
               "line size must be a power of two");
@@ -48,19 +54,19 @@ Cache::lookup(Addr addr)
         CacheLine &line = lineAt(set, w);
         if (line.valid && line.lineAddr == la) {
             repl_->touch(set, w);
-            stats_.counter("hits").inc();
+            statHits_.inc();
             return &line;
         }
     }
-    stats_.counter("misses").inc();
+    statMisses_.inc();
     return nullptr;
 }
 
 const CacheLine *
 Cache::peek(Addr addr) const
 {
-    const Addr la = addr & ~lineMask_;
-    const unsigned set = static_cast<unsigned>((la / lineBytes_) % numSets_);
+    const Addr la = lineAddrOf(addr);
+    const unsigned set = setOf(la);
     for (unsigned w = 0; w < assoc_; ++w) {
         const CacheLine &line = lineAt(set, w);
         if (line.valid && line.lineAddr == la)
@@ -92,20 +98,26 @@ Cache::insert(Addr addr, ProcId owner, Domain domain)
     unsigned way = assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         CacheLine &line = lineAt(set, w);
-        IH_ASSERT(!(line.valid && line.lineAddr == la),
-                  "insert of already-present line %#llx",
-                  static_cast<unsigned long long>(la));
-        if (!line.valid && way == assoc_)
+        IH_DEBUG_ASSERT(!(line.valid && line.lineAddr == la),
+                        "insert of already-present line %#llx",
+                        static_cast<unsigned long long>(la));
+        if (!line.valid && way == assoc_) {
             way = w;
+#ifdef NDEBUG
+            // Release builds stop at the first free way; the rest of the
+            // scan only feeds the duplicate-line assert above.
+            break;
+#endif
+        }
     }
     if (way == assoc_) {
         way = repl_->victim(set);
         CacheLine &victim = lineAt(set, way);
         ev.happened = true;
         ev.victim = victim;
-        stats_.counter("evictions").inc();
+        statEvictions_.inc();
         if (victim.dirty)
-            stats_.counter("dirty_evictions").inc();
+            statDirtyEvictions_.inc();
     }
 
     CacheLine &line = lineAt(set, way);
@@ -117,7 +129,7 @@ Cache::insert(Addr addr, ProcId owner, Domain domain)
     line.ownerProc = owner;
     line.ownerDomain = domain;
     repl_->touch(set, way);
-    stats_.counter("fills").inc();
+    statFills_.inc();
     return ev;
 }
 
@@ -131,7 +143,7 @@ Cache::invalidateLine(Addr addr)
         if (line.valid && line.lineAddr == la) {
             CacheLine copy = line;
             line.valid = false;
-            stats_.counter("invalidations").inc();
+            statInvalidations_.inc();
             return copy;
         }
     }

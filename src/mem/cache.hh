@@ -143,6 +143,15 @@ class Cache
     std::vector<CacheLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
     mutable StatGroup stats_;
+    // Hot-path counters bound once at construction (StatGroup references
+    // are stable), so per-access accounting is a plain increment instead
+    // of a string build + map lookup.
+    Counter &statHits_;
+    Counter &statMisses_;
+    Counter &statFills_;
+    Counter &statEvictions_;
+    Counter &statDirtyEvictions_;
+    Counter &statInvalidations_;
 };
 
 } // namespace ih

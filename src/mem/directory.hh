@@ -10,7 +10,6 @@
 #define IH_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/types.hh"
 
@@ -61,9 +60,14 @@ class Directory
         return mask == bit(core);
     }
 
-    /** Visit every sharer core id in @p mask. */
+    /**
+     * Visit every sharer core id in @p mask. Takes the callable as a
+     * template parameter (not std::function) so the per-access protocol
+     * loops in the memory system never type-erase or allocate.
+     */
+    template <typename Fn>
     static void
-    forEachSharer(std::uint64_t mask, const std::function<void(CoreId)> &fn)
+    forEachSharer(std::uint64_t mask, Fn &&fn)
     {
         while (mask) {
             const unsigned c = __builtin_ctzll(mask);

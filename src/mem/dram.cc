@@ -4,7 +4,9 @@ namespace ih
 {
 
 Dram::Dram(std::string name, const SysConfig &cfg)
-    : cfg_(cfg), openRow_(NUM_BANKS, -1), stats_(std::move(name))
+    : cfg_(cfg), openRow_(NUM_BANKS, -1), stats_(std::move(name)),
+      statRowHits_(stats_.counter("row_hits")),
+      statRowMisses_(stats_.counter("row_misses"))
 {
 }
 
@@ -26,10 +28,10 @@ Dram::access(Addr pa)
     const unsigned bank = bankOf(pa);
     const auto row = static_cast<std::int64_t>(rowOf(pa));
     if (openRow_[bank] == row) {
-        stats_.counter("row_hits").inc();
+        statRowHits_.inc();
         return cfg_.dramRowHitLatency;
     }
-    stats_.counter("row_misses").inc();
+    statRowMisses_.inc();
     openRow_[bank] = row;
     return cfg_.dramLatency;
 }

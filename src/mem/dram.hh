@@ -47,6 +47,9 @@ class Dram
     const SysConfig &cfg_;
     std::vector<std::int64_t> openRow_; ///< -1 == closed
     StatGroup stats_;
+    // Per-access counters bound once (StatGroup references are stable).
+    Counter &statRowHits_;
+    Counter &statRowMisses_;
 };
 
 } // namespace ih

@@ -9,7 +9,11 @@ namespace ih
 
 MemController::MemController(McId id, const SysConfig &cfg)
     : id_(id), cfg_(cfg), dram_(strprintf("dram.%u", id), cfg),
-      stats_(strprintf("mc.%u", id))
+      stats_(strprintf("mc.%u", id)),
+      statReads_(stats_.counter("reads")),
+      statWrites_(stats_.counter("writes")),
+      statQueueWaitCycles_(stats_.counter("queue_wait_cycles")),
+      statTdmSlots_(stats_.counter("tdm_slots"))
 {
 }
 
@@ -18,7 +22,7 @@ MemController::reserveSlot(Cycle when)
 {
     const Cycle start = std::max(when, nextFree_);
     if (start > when)
-        stats_.counter("queue_wait_cycles").inc(start - when);
+        statQueueWaitCycles_.inc(start - when);
     nextFree_ = start + cfg_.mcServiceInterval;
     return start;
 }
@@ -42,17 +46,17 @@ MemController::reserveTdmSlot(Cycle when, Domain domain)
     if (start < t)
         start += 2 * window;
     if (start > when)
-        stats_.counter("queue_wait_cycles").inc(start - when);
+        statQueueWaitCycles_.inc(start - when);
     // The domain's next request waits for the following own-window.
     domainNextFree_[domainIndex(domain)] = start + 2 * window;
-    stats_.counter("tdm_slots").inc();
+    statTdmSlots_.inc();
     return start;
 }
 
 Cycle
 MemController::serviceRead(Addr pa, Cycle when)
 {
-    stats_.counter("reads").inc();
+    statReads_.inc();
     const Cycle start = reserveSlot(when);
     return start + dram_.access(pa);
 }
@@ -62,7 +66,7 @@ MemController::serviceRead(Addr pa, Cycle when, Domain domain)
 {
     if (mode_ == McIsolationMode::NONE)
         return serviceRead(pa, when);
-    stats_.counter("reads").inc();
+    statReads_.inc();
     const Cycle start = reserveTdmSlot(when, domain);
     return start + dram_.access(pa);
 }
@@ -70,7 +74,7 @@ MemController::serviceRead(Addr pa, Cycle when, Domain domain)
 void
 MemController::acceptWrite(Addr pa, Cycle when)
 {
-    stats_.counter("writes").inc();
+    statWrites_.inc();
     reserveSlot(when);
     (void)pa;
     ++pendingWrites_;

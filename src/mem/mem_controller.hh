@@ -100,6 +100,11 @@ class MemController
     Cycle domainNextFree_[NUM_DOMAINS] = {0, 0};
     std::uint64_t pendingWrites_ = 0;
     StatGroup stats_;
+    // Per-request counters bound once (StatGroup references are stable).
+    Counter &statReads_;
+    Counter &statWrites_;
+    Counter &statQueueWaitCycles_;
+    Counter &statTdmSlots_;
 };
 
 } // namespace ih

@@ -10,7 +10,20 @@ namespace ih
 
 MemorySystem::MemorySystem(const SysConfig &cfg, const Topology &topo,
                            Network &net)
-    : cfg_(cfg), topo_(topo), net_(net), alloc_(cfg), stats_("mem")
+    : cfg_(cfg), topo_(topo), net_(net), alloc_(cfg), stats_("mem"),
+      statAccesses_(stats_.counter("accesses")),
+      statTlbMisses_(stats_.counter("tlb_misses")),
+      statBlockedAccesses_(stats_.counter("blocked_accesses")),
+      statL1Accesses_(stats_.counter("l1_accesses")),
+      statL1Misses_(stats_.counter("l1_misses")),
+      statL2Accesses_(stats_.counter("l2_accesses")),
+      statL2Misses_(stats_.counter("l2_misses")),
+      statUpgrades_(stats_.counter("upgrades")),
+      statInvalidationsSent_(stats_.counter("invalidations_sent")),
+      statDirtyForwards_(stats_.counter("dirty_forwards")),
+      statL1Writebacks_(stats_.counter("l1_writebacks")),
+      statL2Evictions_(stats_.counter("l2_evictions")),
+      statBackInvalidations_(stats_.counter("back_invalidations"))
 {
     const unsigned tiles = topo.numTiles();
     IH_ASSERT(tiles <= Directory::MAX_CORES,
@@ -58,10 +71,28 @@ MemorySystem::regionController(RegionId region) const
 void
 MemorySystem::noteHome(const AddressSpace &space, const PageInfo &info)
 {
-    if (space.homingMode() == HomingMode::LOCAL_HOMING)
-        localHomeByPpage_[info.ppage] = info.homeSlice;
-    else
+    if (space.homingMode() == HomingMode::LOCAL_HOMING) {
+        // One hash probe; the map is only written when the entry is new
+        // or a re-homing actually moved the page.
+        const auto [it, inserted] =
+            localHomeByPpage_.try_emplace(info.ppage, info.homeSlice);
+        if (!inserted && it->second != info.homeSlice)
+            it->second = info.homeSlice;
+    } else if (!localHomeByPpage_.empty()) {
+        // Hash-homed spaces never populate the map; skipping the erase
+        // when it is empty keeps the (default) hash-homing access path
+        // free of any hash-map traffic.
         localHomeByPpage_.erase(info.ppage);
+    }
+}
+
+CoreId
+MemorySystem::homeFromInfo(const AddressSpace &space, const PageInfo &info,
+                           Addr line_pa) const
+{
+    if (space.homingMode() == HomingMode::LOCAL_HOMING)
+        return info.homeSlice;
+    return Homing::hashHome(line_pa, space.allowedSlices());
 }
 
 CoreId
@@ -91,7 +122,7 @@ MemorySystem::invalidateSharers(CacheLine &l2_line, CoreId except,
         // Invalidation round trip home -> sharer -> home (ack).
         const Cycle t = net_.roundTrip(home, sharer, when, 1, 1, cluster);
         done = std::max(done, t);
-        stats_.counter("invalidations_sent").inc();
+        statInvalidationsSent_.inc();
     });
     l2_line.sharers = except == INVALID_CORE
                           ? 0
@@ -102,7 +133,7 @@ MemorySystem::invalidateSharers(CacheLine &l2_line, CoreId except,
 void
 MemorySystem::writebackVictim(const CacheLine &victim, Cycle when)
 {
-    stats_.counter("l1_writebacks").inc();
+    statL1Writebacks_.inc();
     const CoreId home = homeOfPhys(victim.lineAddr);
     if (CacheLine *l2_line = l2s_[home]->findLine(victim.lineAddr)) {
         l2_line->dirty = true;
@@ -117,7 +148,7 @@ MemorySystem::writebackVictim(const CacheLine &victim, Cycle when)
 void
 MemorySystem::handleL2Eviction(const CacheLine &victim, Cycle when)
 {
-    stats_.counter("l2_evictions").inc();
+    statL2Evictions_.inc();
     bool dirty = victim.dirty;
     // Inclusive hierarchy: back-invalidate every L1 copy.
     Directory::forEachSharer(victim.sharers, [&](CoreId sharer) {
@@ -126,7 +157,7 @@ MemorySystem::handleL2Eviction(const CacheLine &victim, Cycle when)
         auto dropped = l1s_[sharer]->invalidateLine(victim.lineAddr);
         if (dropped && dropped->dirty)
             dirty = true;
-        stats_.counter("back_invalidations").inc();
+        statBackInvalidations_.inc();
     });
     if (dirty) {
         const RegionId region = regionOf(victim.lineAddr);
@@ -138,7 +169,7 @@ Cycle
 MemorySystem::upgradeLine(CoreId core, Addr line_pa, CoreId home,
                           Cycle when, const ClusterRange &cluster)
 {
-    stats_.counter("upgrades").inc();
+    statUpgrades_.inc();
     // Request permission from the home (1 flit each way).
     Cycle t = net_.traverse(core, home, when, 1, cluster);
     t += cfg_.l2Latency;
@@ -156,7 +187,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
     IH_ASSERT(core < l1s_.size(), "access from core %u out of range", core);
     AccessResult res;
     Cycle t = when;
-    stats_.counter("accesses").inc();
+    statAccesses_.inc();
 
     // ---- Translation ----------------------------------------------------
     const ProcId proc = space.proc();
@@ -167,7 +198,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
         res.tlbHit = false;
         t += cfg_.tlbMissLatency; // page walk
         tlbs_[core]->insert(va, info.ppage, proc, space.domain());
-        stats_.counter("tlb_misses").inc();
+        statTlbMisses_.inc();
     }
     const Addr pa = info.ppage + (va & (cfg_.pageBytes - 1));
     const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
@@ -175,7 +206,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
     // ---- Hardware region access check ------------------------------------
     const RegionId region = regionOf(pa);
     if (checker_ && !checker_(space.domain(), region)) {
-        stats_.counter("blocked_accesses").inc();
+        statBlockedAccesses_.inc();
         res.blocked = true;
         // The request stalls until resolution and is then discarded; the
         // protection fault costs a pipeline-flush-like penalty.
@@ -185,12 +216,12 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
 
     // ---- L1 ---------------------------------------------------------------
     t += cfg_.l1Latency;
-    stats_.counter("l1_accesses").inc();
+    statL1Accesses_.inc();
     if (CacheLine *line = l1s_[core]->lookup(pa)) {
         res.l1Hit = true;
         if (op == MemOp::STORE) {
             if (!line->writable) {
-                const CoreId home = space.homeOf(va);
+                const CoreId home = homeFromInfo(space, info, line_pa);
                 t = upgradeLine(core, line_pa, home, t, cluster);
                 line->writable = true;
             }
@@ -199,17 +230,17 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
         res.finish = t;
         return res;
     }
-    stats_.counter("l1_misses").inc();
+    statL1Misses_.inc();
 
     // ---- L2 home ----------------------------------------------------------
-    const CoreId home = space.homeOf(va);
+    const CoreId home = homeFromInfo(space, info, line_pa);
     t = net_.traverse(core, home, t, 1, cluster);
     t += cfg_.l2Latency;
-    stats_.counter("l2_accesses").inc();
+    statL2Accesses_.inc();
 
     CacheLine *l2_line = l2s_[home]->lookup(pa);
     if (!l2_line) {
-        stats_.counter("l2_misses").inc();
+        statL2Misses_.inc();
         // ---- Memory controller / DRAM ------------------------------------
         const McId mc_id = regionMc_[region];
         const CoreId mc_tile = topo_.mcAttachTile(mc_id);
@@ -242,7 +273,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
                     sl->dirty = false;
                     sl->writable = false;
                     l2_line->dirty = true;
-                    stats_.counter("dirty_forwards").inc();
+                    statDirtyForwards_.inc();
                 }
             });
             t = fwd;

@@ -145,6 +145,14 @@ class MemorySystem
     /** Record the homing information of @p info's page. */
     void noteHome(const AddressSpace &space, const PageInfo &info);
 
+    /**
+     * Home slice of the line at @p line_pa, derived from the PageInfo the
+     * access already fetched — unlike AddressSpace::homeOf(), this never
+     * re-walks the page table.
+     */
+    CoreId homeFromInfo(const AddressSpace &space, const PageInfo &info,
+                        Addr line_pa) const;
+
     const SysConfig &cfg_;
     const Topology &topo_;
     Network &net_;
@@ -160,6 +168,22 @@ class MemorySystem
     AccessChecker checker_;
     StatGroup stats_;
     unsigned dataFlits_;
+    // Per-access counters bound once (StatGroup references are stable),
+    // so the access path pays a pointer-chase increment instead of a
+    // string build + map lookup per event.
+    Counter &statAccesses_;
+    Counter &statTlbMisses_;
+    Counter &statBlockedAccesses_;
+    Counter &statL1Accesses_;
+    Counter &statL1Misses_;
+    Counter &statL2Accesses_;
+    Counter &statL2Misses_;
+    Counter &statUpgrades_;
+    Counter &statInvalidationsSent_;
+    Counter &statDirtyForwards_;
+    Counter &statL1Writebacks_;
+    Counter &statL2Evictions_;
+    Counter &statBackInvalidations_;
 };
 
 } // namespace ih

@@ -6,7 +6,11 @@ namespace ih
 {
 
 Tlb::Tlb(std::string name, unsigned entries, unsigned page_bytes)
-    : entries_(entries), pageMask_(page_bytes - 1), stats_(std::move(name))
+    : entries_(entries), pageMask_(page_bytes - 1), stats_(std::move(name)),
+      statHits_(stats_.counter("hits")),
+      statMisses_(stats_.counter("misses")),
+      statFills_(stats_.counter("fills")),
+      statEvictions_(stats_.counter("evictions"))
 {
     IH_ASSERT(entries > 0, "TLB must have at least one entry");
     IH_ASSERT((page_bytes & (page_bytes - 1)) == 0,
@@ -20,11 +24,11 @@ Tlb::lookup(VAddr vaddr, ProcId proc)
     for (auto &e : entries_) {
         if (e.valid && e.vpage == vp && e.proc == proc) {
             e.stamp = ++tick_;
-            stats_.counter("hits").inc();
+            statHits_.inc();
             return &e;
         }
     }
-    stats_.counter("misses").inc();
+    statMisses_.inc();
     return nullptr;
 }
 
@@ -45,7 +49,7 @@ Tlb::insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain)
             if (e.stamp < slot->stamp)
                 slot = &e;
         }
-        stats_.counter("evictions").inc();
+        statEvictions_.inc();
     }
     slot->vpage = vp;
     slot->ppage = ppage;
@@ -53,7 +57,7 @@ Tlb::insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain)
     slot->domain = domain;
     slot->valid = true;
     slot->stamp = ++tick_;
-    stats_.counter("fills").inc();
+    statFills_.inc();
 }
 
 unsigned

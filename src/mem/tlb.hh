@@ -64,6 +64,11 @@ class Tlb
     VAddr pageMask_;
     std::uint64_t tick_ = 0;
     StatGroup stats_;
+    // Per-access counters bound once (StatGroup references are stable).
+    Counter &statHits_;
+    Counter &statMisses_;
+    Counter &statFills_;
+    Counter &statEvictions_;
 };
 
 } // namespace ih

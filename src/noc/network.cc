@@ -10,60 +10,48 @@ namespace ih
 Network::Network(const SysConfig &cfg, const Topology &topo)
     : cfg_(cfg), topo_(topo), router_(topo),
       link_free_(static_cast<std::size_t>(topo.numTiles()) * 4, 0),
-      stats_("noc")
+      stats_("noc"),
+      statPackets_(stats_.counter("packets")),
+      statFlits_(stats_.counter("flits")),
+      statIsolationViolations_(stats_.counter("isolation_violations")),
+      statLinkStallCycles_(stats_.counter("link_stall_cycles")),
+      statTotalLatency_(stats_.counter("total_latency"))
 {
-}
-
-std::size_t
-Network::linkIndex(CoreId from, CoreId to) const
-{
-    const Coord a = topo_.coordOf(from);
-    const Coord b = topo_.coordOf(to);
-    unsigned dir;
-    if (b.x == a.x + 1 && b.y == a.y)
-        dir = 0; // east
-    else if (b.x == a.x - 1 && b.y == a.y)
-        dir = 1; // west
-    else if (b.y == a.y + 1 && b.x == a.x)
-        dir = 2; // south
-    else if (b.y == a.y - 1 && b.x == a.x)
-        dir = 3; // north
-    else
-        panic("linkIndex: tiles %u and %u are not adjacent", from, to);
-    return static_cast<std::size_t>(from) * 4 + dir;
 }
 
 Cycle
 Network::traverse(CoreId src, CoreId dst, Cycle when, unsigned flits,
                   const ClusterRange &cluster)
 {
-    stats_.counter("packets").inc();
-    stats_.counter("flits").inc(flits);
+    statPackets_.inc();
+    statFlits_.inc(flits);
 
     if (src == dst)
         return when; // local access, no network
 
     const RouteOrder order = router_.selectOrder(src, cluster);
-    const std::vector<CoreId> p = router_.path(src, dst, order);
 
-    if (!router_.pathContained(p, cluster))
-        stats_.counter("isolation_violations").inc();
+    if (!router_.orderedRouteContained(src, dst, order, cluster))
+        statIsolationViolations_.inc();
 
     // Wormhole-ish model: head flit pays hop latency + link wait per hop;
     // body flits stream behind (serialization charged once at the end).
+    // The route is walked in place — no materialized hop vector.
     Cycle t = when;
-    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
-        const std::size_t li = linkIndex(p[i], p[i + 1]);
-        if (link_free_[li] > t) {
-            stats_.counter("link_stall_cycles").inc(link_free_[li] - t);
-            t = link_free_[li];
-        }
-        // The link stays busy while all flits stream across it.
-        link_free_[li] = t + flits;
-        t += cfg_.hopLatency;
-    }
+    router_.forEachLink(
+        src, dst, order,
+        [&](CoreId from, CoreId, Router::Direction dir) {
+            const std::size_t li = linkIndex(from, dir);
+            if (link_free_[li] > t) {
+                statLinkStallCycles_.inc(link_free_[li] - t);
+                t = link_free_[li];
+            }
+            // The link stays busy while all flits stream across it.
+            link_free_[li] = t + flits;
+            t += cfg_.hopLatency;
+        });
     t += flits > 1 ? (flits - 1) : 0; // tail serialization
-    stats_.counter("total_latency").inc(t - when);
+    statTotalLatency_.inc(t - when);
     return t;
 }
 

@@ -64,8 +64,12 @@ class Network
     }
 
   private:
-    /** Directed link index from tile @p from to adjacent tile @p to. */
-    std::size_t linkIndex(CoreId from, CoreId to) const;
+    /** Directed link index for leaving tile @p from towards @p dir. */
+    static std::size_t
+    linkIndex(CoreId from, Router::Direction dir)
+    {
+        return static_cast<std::size_t>(from) * 4 + dir;
+    }
 
     const SysConfig &cfg_;
     const Topology &topo_;
@@ -73,6 +77,12 @@ class Network
     /** next-free-time per directed link (4 per tile). */
     std::vector<Cycle> link_free_;
     StatGroup stats_;
+    // Per-packet counters bound once (StatGroup references are stable).
+    Counter &statPackets_;
+    Counter &statFlits_;
+    Counter &statIsolationViolations_;
+    Counter &statLinkStallCycles_;
+    Counter &statTotalLatency_;
 };
 
 } // namespace ih

@@ -1,5 +1,7 @@
 #include "noc/routing.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace ih
@@ -75,11 +77,40 @@ Router::pathContained(const std::vector<CoreId> &p,
 }
 
 bool
+Router::orderedRouteContained(CoreId src, CoreId dst, RouteOrder order,
+                              const ClusterRange &cluster) const
+{
+    const Coord s = topo_.coordOf(src);
+    const Coord d = topo_.coordOf(dst);
+    const CoreId w = topo_.width();
+    const auto id = [w](int x, int y) {
+        return static_cast<CoreId>(y) * w + static_cast<CoreId>(x);
+    };
+    const int min_x = std::min(s.x, d.x);
+    const int max_x = std::max(s.x, d.x);
+    const int min_y = std::min(s.y, d.y);
+    const int max_y = std::max(s.y, d.y);
+    // The route is one horizontal segment (in the turn row) and one
+    // vertical segment (in the turn column); min/max tile ids over the
+    // route are the min/max over the four segment endpoints.
+    CoreId min_id;
+    CoreId max_id;
+    if (order == RouteOrder::XY) {
+        min_id = std::min(id(min_x, s.y), id(d.x, min_y));
+        max_id = std::max(id(max_x, s.y), id(d.x, max_y));
+    } else {
+        min_id = std::min(id(s.x, min_y), id(min_x, d.y));
+        max_id = std::max(id(s.x, max_y), id(max_x, d.y));
+    }
+    return cluster.contains(min_id) && cluster.contains(max_id);
+}
+
+bool
 Router::routeContained(CoreId src, CoreId dst,
                        const ClusterRange &cluster) const
 {
     const RouteOrder order = selectOrder(src, cluster);
-    return pathContained(path(src, dst, order), cluster);
+    return orderedRouteContained(src, dst, order, cluster);
 }
 
 } // namespace ih

@@ -27,22 +27,6 @@ Topology::Topology(const SysConfig &cfg)
     }
 }
 
-Coord
-Topology::coordOf(CoreId id) const
-{
-    IH_ASSERT(id < numTiles(), "tile id %u out of range", id);
-    return {static_cast<int>(id % width_), static_cast<int>(id / width_)};
-}
-
-CoreId
-Topology::tileAt(Coord c) const
-{
-    IH_ASSERT(c.x >= 0 && c.x < static_cast<int>(width_) && c.y >= 0 &&
-                  c.y < static_cast<int>(height_),
-              "coordinate (%d,%d) outside mesh", c.x, c.y);
-    return static_cast<CoreId>(c.y) * width_ + static_cast<CoreId>(c.x);
-}
-
 CoreId
 Topology::mcAttachTile(McId mc) const
 {
@@ -55,15 +39,6 @@ Topology::mcOnTopEdge(McId mc) const
 {
     IH_ASSERT(mc < mcTop_.size(), "MC id %u out of range", mc);
     return mcTop_[mc];
-}
-
-unsigned
-Topology::hopDistance(CoreId a, CoreId b) const
-{
-    const Coord ca = coordOf(a);
-    const Coord cb = coordOf(b);
-    return static_cast<unsigned>(std::abs(ca.x - cb.x) +
-                                 std::abs(ca.y - cb.y));
 }
 
 } // namespace ih

@@ -17,9 +17,11 @@
 #ifndef IH_NOC_TOPOLOGY_HH
 #define IH_NOC_TOPOLOGY_HH
 
+#include <cstdlib>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/log.hh"
 #include "sim/types.hh"
 
 namespace ih
@@ -46,11 +48,29 @@ class Topology
     unsigned numTiles() const { return width_ * height_; }
     unsigned numMcs() const { return static_cast<unsigned>(mcTiles_.size()); }
 
+    // coordOf/tileAt/hopDistance are defined inline: the routing walks
+    // call them on every packet, and an out-of-line call per hop costs
+    // more than the arithmetic itself.
+
     /** Coordinate of tile @p id (row-major). */
-    Coord coordOf(CoreId id) const;
+    Coord
+    coordOf(CoreId id) const
+    {
+        IH_DEBUG_ASSERT(id < numTiles(), "tile id %u out of range", id);
+        return {static_cast<int>(id % width_),
+                static_cast<int>(id / width_)};
+    }
 
     /** Tile id at coordinate @p c. */
-    CoreId tileAt(Coord c) const;
+    CoreId
+    tileAt(Coord c) const
+    {
+        IH_DEBUG_ASSERT(c.x >= 0 && c.x < static_cast<int>(width_) &&
+                            c.y >= 0 && c.y < static_cast<int>(height_),
+                        "coordinate (%d,%d) outside mesh", c.x, c.y);
+        return static_cast<CoreId>(c.y) * width_ +
+               static_cast<CoreId>(c.x);
+    }
 
     /** Edge router a memory controller attaches to. */
     CoreId mcAttachTile(McId mc) const;
@@ -59,7 +79,14 @@ class Topology
     bool mcOnTopEdge(McId mc) const;
 
     /** Manhattan hop distance between two tiles. */
-    unsigned hopDistance(CoreId a, CoreId b) const;
+    unsigned
+    hopDistance(CoreId a, CoreId b) const
+    {
+        const Coord ca = coordOf(a);
+        const Coord cb = coordOf(b);
+        return static_cast<unsigned>(std::abs(ca.x - cb.x) +
+                                     std::abs(ca.y - cb.y));
+    }
 
   private:
     unsigned width_;

@@ -72,4 +72,17 @@ std::string strprintf(const char *fmt, ...)
         }                                                                   \
     } while (0)
 
+/**
+ * Invariant check compiled out of NDEBUG (release) builds. Use on hot
+ * paths where the scan or recomputation backing the check is itself a
+ * measurable cost (e.g. whole-set duplicate-line scans per cache fill).
+ */
+#ifdef NDEBUG
+#define IH_DEBUG_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+    } while (0)
+#else
+#define IH_DEBUG_ASSERT(cond, ...) IH_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // IH_SIM_LOG_HH

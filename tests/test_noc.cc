@@ -275,3 +275,141 @@ TEST(Network, RoundTripIsTwoTraversals)
     EXPECT_EQ(rt, 2 * cfg.hopLatency // 0->9 is 2 hops
                       + 2 * cfg.hopLatency + 4);
 }
+
+namespace
+{
+
+/** A WxH mesh config for the routing-equivalence sweeps. */
+SysConfig
+meshCfg(unsigned w, unsigned h)
+{
+    SysConfig cfg;
+    cfg.meshWidth = w;
+    cfg.meshHeight = h;
+    cfg.numMcs = 2;
+    cfg.numRegions = 4;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+// The allocation-free hop walk must visit exactly the tile sequence the
+// reference path() materializes — for every (src, dst, order) pair on
+// 4x4 and 6x6 meshes.
+TEST(Routing, HopWalkMatchesPathEverywhere)
+{
+    for (const auto &[w, h] :
+         {std::pair<unsigned, unsigned>{4, 4}, {6, 6}, {4, 6}, {6, 4}}) {
+        const SysConfig cfg = meshCfg(w, h);
+        const Topology topo(cfg);
+        const Router router(topo);
+        const unsigned n = topo.numTiles();
+        for (CoreId src = 0; src < n; ++src) {
+            for (CoreId dst = 0; dst < n; ++dst) {
+                for (const RouteOrder order :
+                     {RouteOrder::XY, RouteOrder::YX}) {
+                    const std::vector<CoreId> ref =
+                        router.path(src, dst, order);
+                    std::vector<CoreId> walked;
+                    router.forEachHop(src, dst, order, [&](CoreId t) {
+                        walked.push_back(t);
+                    });
+                    ASSERT_EQ(walked, ref)
+                        << w << "x" << h << " src=" << src
+                        << " dst=" << dst << " order="
+                        << (order == RouteOrder::XY ? "XY" : "YX");
+                }
+            }
+        }
+    }
+}
+
+// The link walk must traverse the same hop sequence edge by edge, with
+// each (from, to) adjacent and each direction matching the coordinate
+// delta the network's link array expects.
+TEST(Routing, LinkWalkMatchesPathEdges)
+{
+    for (const auto &[w, h] :
+         {std::pair<unsigned, unsigned>{4, 4}, {6, 6}, {4, 6}, {6, 4}}) {
+        const SysConfig cfg = meshCfg(w, h);
+        const Topology topo(cfg);
+        const Router router(topo);
+        const unsigned n = topo.numTiles();
+        for (CoreId src = 0; src < n; ++src) {
+            for (CoreId dst = 0; dst < n; ++dst) {
+                for (const RouteOrder order :
+                     {RouteOrder::XY, RouteOrder::YX}) {
+                    const std::vector<CoreId> ref =
+                        router.path(src, dst, order);
+                    std::size_t i = 0;
+                    router.forEachLink(
+                        src, dst, order,
+                        [&](CoreId from, CoreId to,
+                            Router::Direction dir) {
+                            ASSERT_LT(i + 1, ref.size());
+                            EXPECT_EQ(from, ref[i]);
+                            EXPECT_EQ(to, ref[i + 1]);
+                            const Coord a = topo.coordOf(from);
+                            const Coord b = topo.coordOf(to);
+                            switch (dir) {
+                              case Router::EAST:
+                                EXPECT_EQ(b.x, a.x + 1);
+                                EXPECT_EQ(b.y, a.y);
+                                break;
+                              case Router::WEST:
+                                EXPECT_EQ(b.x, a.x - 1);
+                                EXPECT_EQ(b.y, a.y);
+                                break;
+                              case Router::SOUTH:
+                                EXPECT_EQ(b.y, a.y + 1);
+                                EXPECT_EQ(b.x, a.x);
+                                break;
+                              case Router::NORTH:
+                                EXPECT_EQ(b.y, a.y - 1);
+                                EXPECT_EQ(b.x, a.x);
+                                break;
+                            }
+                            ++i;
+                        });
+                    EXPECT_EQ(i + 1, ref.size());
+                }
+            }
+        }
+    }
+}
+
+// The O(1) analytic containment check must agree with scanning the
+// materialized path, for every (src, dst, order) pair and every
+// contiguous cluster range (including empty and full-machine ranges).
+TEST(Routing, AnalyticContainmentMatchesPathScan)
+{
+    for (const auto &[w, h] :
+         {std::pair<unsigned, unsigned>{4, 4}, {6, 6}, {4, 6}, {6, 4}}) {
+        const SysConfig cfg = meshCfg(w, h);
+        const Topology topo(cfg);
+        const Router router(topo);
+        const unsigned n = topo.numTiles();
+        for (CoreId src = 0; src < n; ++src) {
+            for (CoreId dst = 0; dst < n; ++dst) {
+                for (const RouteOrder order :
+                     {RouteOrder::XY, RouteOrder::YX}) {
+                    const std::vector<CoreId> ref =
+                        router.path(src, dst, order);
+                    for (CoreId first = 0; first < n; ++first) {
+                        for (unsigned count = 0; count <= n - first;
+                             ++count) {
+                            const ClusterRange cl{first, count};
+                            ASSERT_EQ(router.orderedRouteContained(
+                                          src, dst, order, cl),
+                                      router.pathContained(ref, cl))
+                                << w << "x" << h << " src=" << src
+                                << " dst=" << dst << " first=" << first
+                                << " count=" << count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
