@@ -25,14 +25,26 @@
  *     "per_arch": [ {"arch": ..., "completion_cycles": ...}, ... ]
  *   }
  *
+ * `--baseline <path>` turns the bench into a regression gate: the given
+ * BENCH_perf/v1 report (normally the committed bench/perf_baseline.json,
+ * regenerated deliberately like the stats golden) is compared against
+ * this run, and the process exits non-zero when
+ *
+ *   - wall_ms_best regresses by more than the tolerance (default 15%,
+ *     override with IRONHIDE_PERF_TOLERANCE, e.g. 0.25), or
+ *   - the determinism checksum differs (a stats-purity break, gated
+ *     with zero tolerance).
+ *
  * Knobs: IRONHIDE_PERF_SCALE (default 0.1), IRONHIDE_PERF_REPEATS
  * (default 1, best-of-N), IRONHIDE_THREADS (default 1 — single-run
- * speed is the quantity under test).
+ * speed is the quantity under test), IRONHIDE_PERF_TOLERANCE (gate
+ * slack, default 0.15).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -75,12 +87,92 @@ envRepeats()
     return static_cast<unsigned>(n);
 }
 
+double
+envTolerance()
+{
+    const char *v = std::getenv("IRONHIDE_PERF_TOLERANCE");
+    if (!v || !*v)
+        return 0.15;
+    const double t = std::atof(v);
+    if (t <= 0.0) {
+        warn("ignoring invalid IRONHIDE_PERF_TOLERANCE='%s'", v);
+        return 0.15;
+    }
+    return t;
+}
+
+const char *
+baselinePath(int argc, char **argv)
+{
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--baseline") == 0) {
+            if (i + 1 >= argc)
+                fatal("--baseline requires a file argument");
+            path = argv[i + 1];
+        }
+    }
+    if (path) {
+        // Probe readability now so a bad path fails before the sweep,
+        // not after minutes of runs (mirrors jsonReportPath).
+        std::FILE *f = std::fopen(path, "rb");
+        if (!f)
+            fatal("cannot open baseline '%s' for reading", path);
+        std::fclose(f);
+    }
+    return path;
+}
+
+/**
+ * The regression gate: compare this run against the baseline report.
+ * @return process exit code (0 pass, 1 fail).
+ */
+int
+gateAgainstBaseline(const char *path, double wall_ms_best,
+                    std::uint64_t completion_total)
+{
+    const std::string base = readTextFile(path);
+    double base_wall = 0.0;
+    if (!jsonNumberField(base, "wall_ms_best", base_wall) ||
+        base_wall <= 0.0) {
+        fatal("baseline '%s' has no usable wall_ms_best", path);
+    }
+    const double tolerance = envTolerance();
+    const double limit = base_wall * (1.0 + tolerance);
+
+    int rc = 0;
+    double base_checksum = 0.0;
+    if (jsonNumberField(base, "sim_completion_cycles_total",
+                        base_checksum) &&
+        static_cast<std::uint64_t>(base_checksum) != completion_total) {
+        warn("perf gate: determinism checksum %llu != baseline %llu — "
+             "stats purity broke (regenerate the baseline only for an "
+             "intentional modeling change)",
+             static_cast<unsigned long long>(completion_total),
+             static_cast<unsigned long long>(base_checksum));
+        rc = 1;
+    }
+    if (wall_ms_best > limit) {
+        warn("perf gate: wall_ms_best %.1f exceeds %.1f (baseline %.1f "
+             "+%.0f%%) — perf regression",
+             wall_ms_best, limit, base_wall, tolerance * 100.0);
+        rc = 1;
+    }
+    if (rc == 0) {
+        std::printf("perf gate: pass (wall_ms_best %.1f vs baseline %.1f, "
+                    "limit %.1f)\n",
+                    wall_ms_best, base_wall, limit);
+    }
+    return rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const char *json_path = jsonReportPath(argc, argv);
+    const char *baseline_path = baselinePath(argc, argv);
     printBanner("perf_smoke",
                 "Times a fixed mini-sweep (fig6 grid, reduced scale) and "
                 "reports\nhost wall-clock speed plus a determinism "
@@ -173,5 +265,8 @@ main(int argc, char **argv)
         writeTextFile(json_path, w.str() + "\n");
         inform("wrote perf report: %s", json_path);
     }
+    if (baseline_path)
+        return gateAgainstBaseline(baseline_path, wall_ms_best,
+                                   completion_total);
     return 0;
 }

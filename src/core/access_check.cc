@@ -45,6 +45,12 @@ RegionOwnership::evenSplit(unsigned num_regions)
     return own;
 }
 
+RegionCheck
+RegionOwnership::makeCheck() const
+{
+    return RegionCheck::fromTable(owner_);
+}
+
 AccessChecker
 RegionOwnership::makeChecker() const
 {

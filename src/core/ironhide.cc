@@ -90,7 +90,7 @@ Ironhide::applySplit(unsigned s)
         }
     }
 
-    sys_.mem().setAccessChecker(regions_.makeChecker());
+    sys_.mem().setAccessChecker(regions_.makeCheck());
 }
 
 Cycle

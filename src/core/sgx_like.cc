@@ -13,7 +13,7 @@ SgxLike::configure(const std::vector<Process *> &procs, Cycle t)
     assignWholeMachine(procs);
     for (Process *p : procs)
         p->space().setHomingMode(HomingMode::HASH_FOR_HOMING);
-    sys_.mem().setAccessChecker(nullptr);
+    sys_.mem().setAccessChecker(RegionCheck());
     return t;
 }
 

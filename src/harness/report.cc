@@ -1,6 +1,8 @@
 #include "harness/report.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/log.hh"
 
@@ -238,6 +240,48 @@ writeTextFile(const std::string &path, const std::string &text)
     if (written != text.size() || std::fclose(f) != 0)
         fatal("short write to '%s' (%zu of %zu bytes)", path.c_str(),
               written, text.size());
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (std::ferror(f))
+        fatal("read error on '%s'", path.c_str());
+    std::fclose(f);
+    return out;
+}
+
+bool
+jsonNumberField(const std::string &json, const std::string &key,
+                double &out)
+{
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < json.size() &&
+           (json[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(json[pos])))) {
+        ++pos;
+    }
+    if (pos >= json.size())
+        return false;
+    const char *start = json.c_str() + pos;
+    char *end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace ih

@@ -85,6 +85,19 @@ class JsonWriter
 /** Write @p text to @p path, fatal() on failure. */
 void writeTextFile(const std::string &path, const std::string &text);
 
+/** Read the whole file at @p path, fatal() on failure. */
+std::string readTextFile(const std::string &path);
+
+/**
+ * Extract the number stored under @p key at any nesting depth of
+ * @p json (first occurrence wins). This is a deliberately small
+ * flat-scan over `"key": <number>` — enough to read back the reports
+ * JsonWriter produces (the perf-gate baseline), not a general parser.
+ * @return true and set @p out when the key was found with a number.
+ */
+bool jsonNumberField(const std::string &json, const std::string &key,
+                     double &out);
+
 } // namespace ih
 
 #endif // IH_HARNESS_REPORT_HH

@@ -23,14 +23,12 @@ Cache::Cache(std::string name, unsigned size_bytes, unsigned assoc,
     IH_ASSERT(size_bytes % (line_bytes * assoc) == 0,
               "capacity does not divide into sets");
     numSets_ = size_bytes / (line_bytes * assoc);
+    lineShift_ = log2Pow2(line_bytes);
+    setMask_ = (numSets_ & (numSets_ - 1)) == 0 ? numSets_ - 1 : 0;
     lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
     repl_ = ReplacementPolicy::create(repl, numSets_, assoc_, seed);
-}
-
-unsigned
-Cache::setOf(Addr addr) const
-{
-    return static_cast<unsigned>((addr / lineBytes_) % numSets_);
+    if (repl == "lru")
+        lru_ = static_cast<LruPolicy *>(repl_.get());
 }
 
 CacheLine &
@@ -43,49 +41,6 @@ const CacheLine &
 Cache::lineAt(unsigned set, unsigned way) const
 {
     return lines_[static_cast<std::size_t>(set) * assoc_ + way];
-}
-
-CacheLine *
-Cache::lookup(Addr addr)
-{
-    const Addr la = lineAddrOf(addr);
-    const unsigned set = setOf(la);
-    for (unsigned w = 0; w < assoc_; ++w) {
-        CacheLine &line = lineAt(set, w);
-        if (line.valid && line.lineAddr == la) {
-            repl_->touch(set, w);
-            statHits_.inc();
-            return &line;
-        }
-    }
-    statMisses_.inc();
-    return nullptr;
-}
-
-const CacheLine *
-Cache::peek(Addr addr) const
-{
-    const Addr la = lineAddrOf(addr);
-    const unsigned set = setOf(la);
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const CacheLine &line = lineAt(set, w);
-        if (line.valid && line.lineAddr == la)
-            return &line;
-    }
-    return nullptr;
-}
-
-CacheLine *
-Cache::findLine(Addr addr)
-{
-    const Addr la = lineAddrOf(addr);
-    const unsigned set = setOf(la);
-    for (unsigned w = 0; w < assoc_; ++w) {
-        CacheLine &line = lineAt(set, w);
-        if (line.valid && line.lineAddr == la)
-            return &line;
-    }
-    return nullptr;
 }
 
 Eviction

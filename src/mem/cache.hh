@@ -69,23 +69,78 @@ class Cache
     /** Align @p addr down to its line address. */
     Addr lineAddrOf(Addr addr) const { return addr & ~lineMask_; }
 
-    /** Set index of @p addr. */
-    unsigned setOf(Addr addr) const;
+    /** Set index of @p addr. Shift/mask for the (usual) power-of-two set
+     *  count; the division fallback keeps odd test geometries working. */
+    unsigned
+    setOf(Addr addr) const
+    {
+        const Addr line = addr >> lineShift_;
+        if (setMask_ != 0)
+            return static_cast<unsigned>(line & setMask_);
+        return static_cast<unsigned>(line % numSets_);
+    }
 
     /**
      * Look up @p addr. On a hit the replacement state is touched and a
      * pointer to the (mutable) line is returned; nullptr on miss.
+     *
+     * Defined inline (with the LRU policy devirtualized) because this
+     * runs several times per simulated memory access.
      */
-    CacheLine *lookup(Addr addr);
+    CacheLine *
+    lookup(Addr addr)
+    {
+        const Addr la = lineAddrOf(addr);
+        const unsigned set = setOf(la);
+        CacheLine *const base =
+            &lines_[static_cast<std::size_t>(set) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            CacheLine &line = base[w];
+            if (line.valid && line.lineAddr == la) {
+                if (lru_)
+                    lru_->touchFast(set, w);
+                else
+                    repl_->touch(set, w);
+                statHits_.inc();
+                return &line;
+            }
+        }
+        statMisses_.inc();
+        return nullptr;
+    }
 
     /** Look up without touching replacement state or stats (probes). */
-    const CacheLine *peek(Addr addr) const;
+    const CacheLine *
+    peek(Addr addr) const
+    {
+        const Addr la = lineAddrOf(addr);
+        const unsigned set = setOf(la);
+        const CacheLine *const base =
+            &lines_[static_cast<std::size_t>(set) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].lineAddr == la)
+                return &base[w];
+        }
+        return nullptr;
+    }
 
     /**
      * Mutable lookup that touches neither stats nor replacement state;
      * for protocol bookkeeping (directory updates, writeback folding).
      */
-    CacheLine *findLine(Addr addr);
+    CacheLine *
+    findLine(Addr addr)
+    {
+        const Addr la = lineAddrOf(addr);
+        const unsigned set = setOf(la);
+        CacheLine *const base =
+            &lines_[static_cast<std::size_t>(set) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].lineAddr == la)
+                return &base[w];
+        }
+        return nullptr;
+    }
 
     /**
      * Insert the line containing @p addr (must not be present).
@@ -139,9 +194,14 @@ class Cache
     unsigned numSets_;
     unsigned assoc_;
     unsigned lineBytes_;
+    unsigned lineShift_;  ///< log2(lineBytes_)
+    unsigned setMask_;    ///< numSets_ - 1 when a power of two, else 0
     Addr lineMask_;
     std::vector<CacheLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** repl_ downcast when it is the (default) LRU policy, letting the
+     *  inline lookup skip the virtual touch() on every hit. */
+    LruPolicy *lru_ = nullptr;
     mutable StatGroup stats_;
     // Hot-path counters bound once at construction (StatGroup references
     // are stable), so per-access accounting is a plain increment instead

@@ -40,7 +40,8 @@ MemorySystem::MemorySystem(const SysConfig &cfg, const Topology &topo,
             cfg.lineBytes, "lru", cfg.seed + 1000 + t));
         tlbs_.push_back(std::make_unique<Tlb>(strprintf("tlb.%u", t),
                                               cfg.tlbEntries,
-                                              cfg.pageBytes));
+                                              cfg.pageBytes,
+                                              cfg.tlbWays));
         allSlices_.push_back(t);
     }
     for (McId m = 0; m < cfg.numMcs; ++m)
@@ -51,6 +52,7 @@ MemorySystem::MemorySystem(const SysConfig &cfg, const Topology &topo,
         regionMc_[r] = r % cfg.numMcs;
     // 16-byte flits: a 64-byte line is 4 data flits + 1 header.
     dataFlits_ = cfg.lineBytes / 16 + 1;
+    pageShift_ = log2Pow2(cfg.pageBytes);
 }
 
 void
@@ -71,7 +73,22 @@ MemorySystem::regionController(RegionId region) const
 void
 MemorySystem::noteHome(const AddressSpace &space, const PageInfo &info)
 {
-    if (space.homingMode() == HomingMode::LOCAL_HOMING) {
+    // Direct-mapped skip: consecutive accesses stay on a handful of
+    // pages, so most calls would repeat the exact map operation a recent
+    // call already performed (idempotent either way: same-key
+    // try_emplace for local homing, same-key erase for hash homing).
+    // Physical pages are never shared between address spaces, so a
+    // repeat of the same (mode, ppage, home) triple cannot mask another
+    // space's update.
+    const HomingMode mode = space.homingMode();
+    NotedHome &slot =
+        noted_[(info.ppage >> pageShift_) & (NOTED_SLOTS - 1)];
+    if (info.ppage == slot.ppage && mode == slot.mode &&
+        info.homeSlice == slot.home) {
+        return;
+    }
+    slot = NotedHome{info.ppage, mode, info.homeSlice};
+    if (mode == HomingMode::LOCAL_HOMING) {
         // One hash probe; the map is only written when the entry is new
         // or a re-homing actually moved the page.
         const auto [it, inserted] =
@@ -205,7 +222,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
 
     // ---- Hardware region access check ------------------------------------
     const RegionId region = regionOf(pa);
-    if (checker_ && !checker_(space.domain(), region)) {
+    if (!checker_.allows(space.domain(), region)) {
         statBlockedAccesses_.inc();
         res.blocked = true;
         // The request stalls until resolution and is then discarded; the

@@ -23,6 +23,7 @@
 #ifndef IH_MEM_MEMORY_SYSTEM_HH
 #define IH_MEM_MEMORY_SYSTEM_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -51,8 +52,76 @@ struct AccessResult
 /**
  * Per-access security check: may the given domain touch a line homed in
  * @p region? Installed by the active security model.
+ *
+ * This is the escape-hatch form for tests that inject custom policies;
+ * production models install the value-type RegionCheck below, whose
+ * table path inlines into the access hot path.
  */
 using AccessChecker = std::function<bool(Domain requester, RegionId region)>;
+
+/**
+ * The per-access region check as a concrete value type. The production
+ * rule (RegionOwnership table lookup: the secure domain may touch
+ * everything, the insecure domain only insecure-owned regions) compiles
+ * down to an array index + compare — no std::function indirection on the
+ * path that runs for every memory access. A std::function fallback
+ * remains for tests that inject custom policies.
+ */
+class RegionCheck
+{
+  public:
+    /** Default: no check installed; every access is allowed. */
+    RegionCheck() = default;
+
+    /** Table-backed production check over an ownership map. */
+    static RegionCheck
+    fromTable(const std::vector<Domain> &owner)
+    {
+        RegionCheck c;
+        c.mode_ = Mode::TABLE;
+        c.insecureOk_.resize(owner.size());
+        for (std::size_t r = 0; r < owner.size(); ++r)
+            c.insecureOk_[r] = owner[r] == Domain::INSECURE ? 1 : 0;
+        return c;
+    }
+
+    /** Escape hatch: arbitrary callable (empty fn clears the check). */
+    static RegionCheck
+    fromFunction(AccessChecker fn)
+    {
+        RegionCheck c;
+        if (fn) {
+            c.mode_ = Mode::CUSTOM;
+            c.fn_ = std::move(fn);
+        }
+        return c;
+    }
+
+    /** Is any check installed? */
+    bool enabled() const { return mode_ != Mode::OFF; }
+
+    /** May @p requester touch a line homed in @p region? */
+    bool
+    allows(Domain requester, RegionId region) const
+    {
+        if (mode_ == Mode::TABLE) {
+            if (requester == Domain::SECURE)
+                return region < insecureOk_.size();
+            return region < insecureOk_.size() && insecureOk_[region];
+        }
+        if (mode_ == Mode::OFF)
+            return true;
+        return fn_(requester, region);
+    }
+
+  private:
+    enum class Mode : std::uint8_t { OFF, TABLE, CUSTOM };
+
+    Mode mode_ = Mode::OFF;
+    /** insecureOk_[r] != 0 iff the insecure domain may touch region r. */
+    std::vector<std::uint8_t> insecureOk_;
+    AccessChecker fn_;
+};
 
 /** The machine's cache/TLB/DRAM hierarchy. */
 class MemorySystem
@@ -75,10 +144,19 @@ class MemorySystem
 
     // --- Security / reconfiguration operations --------------------------
 
-    /** Install (or clear) the per-access region checker. */
+    /** Install the value-type per-access region check. */
+    void setAccessChecker(RegionCheck check)
+    {
+        checker_ = std::move(check);
+    }
+
+    /**
+     * Install (or clear, with nullptr) a custom per-access checker.
+     * Test escape hatch: the closure stays behind a std::function call.
+     */
     void setAccessChecker(AccessChecker checker)
     {
-        checker_ = std::move(checker);
+        checker_ = RegionCheck::fromFunction(std::move(checker));
     }
 
     /**
@@ -164,8 +242,20 @@ class MemorySystem
     std::vector<McId> regionMc_;
     /** ppage -> (LOCAL home slice) or absent for hash-homed pages. */
     std::unordered_map<Addr, CoreId> localHomeByPpage_;
+    /** Recent noteHome() operations (direct-mapped skip of idempotent
+     *  repeats). The sentinel ppage is not page-aligned, so an empty
+     *  slot never matches. */
+    struct NotedHome
+    {
+        Addr ppage = ~Addr(0);
+        HomingMode mode = HomingMode::HASH_FOR_HOMING;
+        CoreId home = 0;
+    };
+    static constexpr unsigned NOTED_SLOTS = 8;
+    std::array<NotedHome, NOTED_SLOTS> noted_;
+    unsigned pageShift_ = 0; ///< log2(cfg.pageBytes)
     std::vector<CoreId> allSlices_;
-    AccessChecker checker_;
+    RegionCheck checker_;
     StatGroup stats_;
     unsigned dataFlits_;
     // Per-access counters bound once (StatGroup references are stable),

@@ -36,6 +36,7 @@ AddressSpace::AddressSpace(const SysConfig &cfg, PhysAllocator &alloc,
     : cfg_(cfg), alloc_(alloc), proc_(proc), domain_(domain),
       pageMask_(cfg.pageBytes - 1)
 {
+    pageShift_ = log2Pow2(cfg.pageBytes);
     // Default: everything is allowed until a security model says
     // otherwise (the insecure-baseline configuration).
     for (RegionId r = 0; r < cfg.numRegions; ++r)
@@ -59,19 +60,19 @@ AddressSpace::setAllowedSlices(std::vector<CoreId> slices)
 }
 
 const PageInfo &
-AddressSpace::ensureMapped(VAddr va)
+AddressSpace::mapSlow(VAddr vp)
 {
-    const VAddr vp = vpageOf(va);
     auto it = pages_.find(vp);
-    if (it != pages_.end())
-        return it->second;
-
-    const RegionId region = regions_[pageSeq_ % regions_.size()];
-    PageInfo info;
-    info.ppage = alloc_.allocPage(region);
-    info.homeSlice = Homing::localHome(pageSeq_, slices_);
-    ++pageSeq_;
-    return pages_.emplace(vp, info).first->second;
+    if (it == pages_.end()) {
+        const RegionId region = regions_[pageSeq_ % regions_.size()];
+        PageInfo info;
+        info.ppage = alloc_.allocPage(region);
+        info.homeSlice = Homing::localHome(pageSeq_, slices_);
+        ++pageSeq_;
+        it = pages_.emplace(vp, info).first;
+    }
+    tcache_[tcSlot(vp)] = TransCache{vp, &it->second};
+    return it->second;
 }
 
 const PageInfo *

@@ -19,6 +19,7 @@
 #ifndef IH_MEM_PAGE_TABLE_HH
 #define IH_MEM_PAGE_TABLE_HH
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -79,8 +80,24 @@ class AddressSpace
      * Translate @p va, mapping the page on first touch. Newly mapped
      * pages round-robin over the allowed regions and (for local homing)
      * the allowed slices.
+     *
+     * Inline fast path through a small direct-mapped translation cache:
+     * scans translate the same handful of pages for many consecutive
+     * lines (workloads interleave a few arrays, which is why a single
+     * MRU entry is not enough), so recent translations answer most
+     * calls without touching the hash map. unordered_map never
+     * invalidates element pointers on insert, and rehomeAll() updates
+     * entries in place, so cached pointers always reflect current state.
      */
-    const PageInfo &ensureMapped(VAddr va);
+    const PageInfo &
+    ensureMapped(VAddr va)
+    {
+        const VAddr vp = vpageOf(va);
+        const TransCache &tc = tcache_[tcSlot(vp)];
+        if (tc.vp == vp)
+            return *tc.info;
+        return mapSlow(vp);
+    }
 
     /** Translate without mapping; nullptr when unmapped. */
     const PageInfo *translate(VAddr va) const;
@@ -113,7 +130,28 @@ class AddressSpace
     VAddr reserveRange(std::uint64_t bytes);
 
   private:
+    /** Translation-cache slots (power of two). */
+    static constexpr unsigned TC_SLOTS = 8;
+
+    /** One direct-mapped translation-cache slot. The sentinel vp is not
+     *  page-aligned, so it can never match a real lookup. */
+    struct TransCache
+    {
+        VAddr vp = ~VAddr(0);
+        PageInfo *info = nullptr;
+    };
+
     VAddr vpageOf(VAddr va) const { return va & ~pageMask_; }
+
+    unsigned tcSlot(VAddr vpage) const
+    {
+        return static_cast<unsigned>((vpage >> pageShift_) &
+                                     (TC_SLOTS - 1));
+    }
+
+    /** Hash lookup / first-touch mapping behind the ensureMapped() fast
+     *  path (@p vp is already page-aligned). */
+    const PageInfo &mapSlow(VAddr vp);
 
     const SysConfig &cfg_;
     PhysAllocator &alloc_;
@@ -126,6 +164,10 @@ class AddressSpace
     std::uint64_t pageSeq_ = 0;  ///< allocation ordinal for round-robin
     VAddr brk_ = 0x10000;        ///< next unreserved virtual address
     std::unordered_map<VAddr, PageInfo> pages_;
+    unsigned pageShift_; ///< log2(pageBytes)
+    /** Direct-mapped recent translations (pointers are stable; see
+     *  ensureMapped). */
+    std::array<TransCache, TC_SLOTS> tcache_;
 };
 
 } // namespace ih

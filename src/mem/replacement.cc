@@ -30,7 +30,7 @@ void
 LruPolicy::touch(unsigned set, unsigned way)
 {
     IH_ASSERT(set < numSets_ && way < assoc_, "lru touch out of range");
-    stamp_[static_cast<std::size_t>(set) * assoc_ + way] = ++tick_;
+    touchFast(set, way);
 }
 
 unsigned

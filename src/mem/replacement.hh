@@ -64,6 +64,17 @@ class LruPolicy : public ReplacementPolicy
     void reset() override;
     const char *name() const override { return "lru"; }
 
+    /**
+     * Inline, assert-free touch for callers that already guarantee
+     * (set, way) is in range — the cache's per-hit fast path, which
+     * holds a devirtualized LruPolicy pointer.
+     */
+    void
+    touchFast(unsigned set, unsigned way)
+    {
+        stamp_[static_cast<std::size_t>(set) * assoc_ + way] = ++tick_;
+    }
+
   private:
     std::vector<std::uint64_t> stamp_;
     std::uint64_t tick_ = 0;

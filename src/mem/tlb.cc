@@ -5,8 +5,14 @@
 namespace ih
 {
 
-Tlb::Tlb(std::string name, unsigned entries, unsigned page_bytes)
-    : entries_(entries), pageMask_(page_bytes - 1), stats_(std::move(name)),
+Tlb::Tlb(std::string name, unsigned entries, unsigned page_bytes,
+         unsigned ways)
+    : entries_(entries), pageMask_(page_bytes - 1),
+      pageShift_(log2Pow2(page_bytes)),
+      ways_(ways == 0 || ways > entries ? entries : ways),
+      numSets_(entries / ways_), setMask_(numSets_ - 1),
+      wayPred_(PRED_SLOTS, 0),
+      stats_(std::move(name)),
       statHits_(stats_.counter("hits")),
       statMisses_(stats_.counter("misses")),
       statFills_(stats_.counter("fills")),
@@ -15,16 +21,23 @@ Tlb::Tlb(std::string name, unsigned entries, unsigned page_bytes)
     IH_ASSERT(entries > 0, "TLB must have at least one entry");
     IH_ASSERT((page_bytes & (page_bytes - 1)) == 0,
               "page size must be a power of two");
+    IH_ASSERT(entries % ways_ == 0,
+              "TLB ways (%u) must divide entries (%u)", ways_, entries);
+    IH_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+              "TLB set count (%u) must be a power of two", numSets_);
 }
 
 TlbEntry *
-Tlb::lookup(VAddr vaddr, ProcId proc)
+Tlb::lookupSlow(VAddr vp, ProcId proc, unsigned slot)
 {
-    const VAddr vp = vpageOf(vaddr);
-    for (auto &e : entries_) {
+    TlbEntry *const set = &entries_[setIndex(vp) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = set[w];
         if (e.valid && e.vpage == vp && e.proc == proc) {
             e.stamp = ++tick_;
             statHits_.inc();
+            wayPred_[slot] =
+                static_cast<unsigned>(&e - entries_.data());
             return &e;
         }
     }
@@ -36,18 +49,19 @@ void
 Tlb::insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain)
 {
     const VAddr vp = vpageOf(vaddr);
+    TlbEntry *const set = &entries_[setIndex(vp) * ways_];
     TlbEntry *slot = nullptr;
-    for (auto &e : entries_) {
-        if (!e.valid) {
-            slot = &e;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            slot = &set[w];
             break;
         }
     }
     if (!slot) {
-        slot = &entries_[0];
-        for (auto &e : entries_) {
-            if (e.stamp < slot->stamp)
-                slot = &e;
+        slot = set;
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (set[w].stamp < slot->stamp)
+                slot = &set[w];
         }
         statEvictions_.inc();
     }
@@ -57,6 +71,10 @@ Tlb::insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain)
     slot->domain = domain;
     slot->valid = true;
     slot->stamp = ++tick_;
+    // Prime the way predictor: the next lookup of this page hits the
+    // fresh entry without a set scan.
+    wayPred_[predSlot(vp)] =
+        static_cast<unsigned>(slot - entries_.data());
     statFills_.inc();
 }
 

@@ -1,9 +1,18 @@
 /**
  * @file
- * Per-core translation lookaside buffer. Fully associative with true LRU,
- * tracking the owning process of each entry so purges and the
- * purge-completeness property tests can reason about which state belongs
- * to which security domain.
+ * Per-core translation lookaside buffer. Set-associative with per-set
+ * true LRU (configurable ways; a single set of `entries` ways is the
+ * degenerate fully associative configuration the paper models), tracking
+ * the owning process of each entry so purges and the purge-completeness
+ * property tests can reason about which state belongs to which security
+ * domain.
+ *
+ * Lookup cost is O(ways) within the indexed set, with a small way
+ * predictor in front: dense kernels touch the same handful of pages for
+ * many consecutive lines, so most lookups resolve against a predicted
+ * entry without scanning the set at all. The predictor is purely an
+ * implementation shortcut — hit/miss outcomes, LRU order and every
+ * counter are identical with it disabled.
  */
 
 #ifndef IH_MEM_TLB_HH
@@ -29,16 +38,39 @@ struct TlbEntry
     std::uint64_t stamp = 0;
 };
 
-/** Fully associative, LRU TLB. */
+/** Set-associative, per-set-LRU TLB. */
 class Tlb
 {
   public:
-    Tlb(std::string name, unsigned entries, unsigned page_bytes);
+    /**
+     * @param entries total entry count
+     * @param ways    associativity; 0 (the default) means fully
+     *                associative (ways == entries, one set)
+     */
+    Tlb(std::string name, unsigned entries, unsigned page_bytes,
+        unsigned ways = 0);
 
-    /** Look up the translation of @p vaddr for @p proc. */
-    TlbEntry *lookup(VAddr vaddr, ProcId proc);
+    /**
+     * Look up the translation of @p vaddr for @p proc. Inline: this runs
+     * once per simulated memory access, and the way-predictor fast path
+     * resolves the overwhelmingly common same-page-as-recently case
+     * without scanning the set.
+     */
+    TlbEntry *
+    lookup(VAddr vaddr, ProcId proc)
+    {
+        const VAddr vp = vpageOf(vaddr);
+        const unsigned slot = predSlot(vp);
+        TlbEntry &m = entries_[wayPred_[slot]];
+        if (m.valid && m.vpage == vp && m.proc == proc) {
+            m.stamp = ++tick_;
+            statHits_.inc();
+            return &m;
+        }
+        return lookupSlow(vp, proc, slot);
+    }
 
-    /** Install a translation, evicting LRU if full. */
+    /** Install a translation, evicting the set's LRU entry if full. */
     void insert(VAddr vaddr, Addr ppage, ProcId proc, Domain domain);
 
     /** Invalidate everything. @return number of entries dropped. */
@@ -52,16 +84,52 @@ class Tlb
 
     unsigned capacity() const { return static_cast<unsigned>(
         entries_.size()); }
+    unsigned ways() const { return ways_; }
+    unsigned numSets() const { return numSets_; }
+
+    /** Set index the page of @p vaddr maps to (for tests). */
+    unsigned setOf(VAddr vaddr) const
+    {
+        return setIndex(vpageOf(vaddr));
+    }
 
     std::uint64_t hits() const { return stats_.value("hits"); }
     std::uint64_t misses() const { return stats_.value("misses"); }
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Way-predictor slots (power of two). Workloads interleave a
+     *  handful of arrays, so a single MRU entry thrashes; indexing the
+     *  prediction by page-number bits keeps each stream's entry live. */
+    static constexpr unsigned PRED_SLOTS = 16;
+
     VAddr vpageOf(VAddr vaddr) const { return vaddr & ~pageMask_; }
 
-    std::vector<TlbEntry> entries_;
+    unsigned predSlot(VAddr vpage) const
+    {
+        return static_cast<unsigned>((vpage >> pageShift_) &
+                                     (PRED_SLOTS - 1));
+    }
+
+    /** Set scan behind the predictor fast path (@p vp page-aligned). */
+    TlbEntry *lookupSlow(VAddr vp, ProcId proc, unsigned slot);
+
+    unsigned setIndex(VAddr vpage) const
+    {
+        // Page-number bits select the set (power-of-two set count).
+        return static_cast<unsigned>((vpage >> pageShift_) & setMask_);
+    }
+
+    std::vector<TlbEntry> entries_; ///< set s occupies [s*ways, (s+1)*ways)
     VAddr pageMask_;
+    unsigned pageShift_;
+    unsigned ways_;
+    unsigned numSets_;
+    unsigned setMask_;
+    /** Entry index predicted for each slot (validated on every use, so
+     *  a stale prediction only costs the set scan it would have done
+     *  anyway — hit/miss outcomes are unaffected). */
+    std::vector<unsigned> wayPred_;
     std::uint64_t tick_ = 0;
     StatGroup stats_;
     // Per-access counters bound once (StatGroup references are stable).

@@ -20,42 +20,6 @@ Network::Network(const SysConfig &cfg, const Topology &topo)
 }
 
 Cycle
-Network::traverse(CoreId src, CoreId dst, Cycle when, unsigned flits,
-                  const ClusterRange &cluster)
-{
-    statPackets_.inc();
-    statFlits_.inc(flits);
-
-    if (src == dst)
-        return when; // local access, no network
-
-    const RouteOrder order = router_.selectOrder(src, cluster);
-
-    if (!router_.orderedRouteContained(src, dst, order, cluster))
-        statIsolationViolations_.inc();
-
-    // Wormhole-ish model: head flit pays hop latency + link wait per hop;
-    // body flits stream behind (serialization charged once at the end).
-    // The route is walked in place — no materialized hop vector.
-    Cycle t = when;
-    router_.forEachLink(
-        src, dst, order,
-        [&](CoreId from, CoreId, Router::Direction dir) {
-            const std::size_t li = linkIndex(from, dir);
-            if (link_free_[li] > t) {
-                statLinkStallCycles_.inc(link_free_[li] - t);
-                t = link_free_[li];
-            }
-            // The link stays busy while all flits stream across it.
-            link_free_[li] = t + flits;
-            t += cfg_.hopLatency;
-        });
-    t += flits > 1 ? (flits - 1) : 0; // tail serialization
-    statTotalLatency_.inc(t - when);
-    return t;
-}
-
-Cycle
 Network::roundTrip(CoreId a, CoreId b, Cycle when, unsigned req_flits,
                    unsigned rsp_flits, const ClusterRange &cluster)
 {

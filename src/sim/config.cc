@@ -38,6 +38,7 @@ SysConfig::set(const std::string &key, const std::string &value)
     else if (key == "l2SliceBytes") l2SliceBytes = as_u();
     else if (key == "l2Assoc") l2Assoc = as_u();
     else if (key == "tlbEntries") tlbEntries = as_u();
+    else if (key == "tlbWays") tlbWays = as_u();
     else if (key == "pageBytes") pageBytes = as_u();
     else if (key == "l1Latency") l1Latency = as_cyc();
     else if (key == "l2Latency") l2Latency = as_cyc();
@@ -69,6 +70,13 @@ SysConfig::validate() const
         fatal("cache sizes must be powers of two");
     if (l1Assoc == 0 || l2Assoc == 0)
         fatal("associativity must be nonzero");
+    if (tlbWays != 0) {
+        if (tlbEntries % tlbWays != 0)
+            fatal("tlbWays must divide tlbEntries");
+        const unsigned sets = tlbEntries / tlbWays;
+        if (!isPow2(sets))
+            fatal("tlbEntries / tlbWays must be a power of two");
+    }
     if (l1Bytes % (lineBytes * l1Assoc) != 0)
         fatal("L1 geometry does not divide into sets");
     if (l2SliceBytes % (lineBytes * l2Assoc) != 0)

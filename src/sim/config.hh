@@ -40,6 +40,8 @@ struct SysConfig
     unsigned l2SliceBytes = 32 * 1024; ///< shared L2 slice per tile
     unsigned l2Assoc = 8;
     unsigned tlbEntries = 32;          ///< private per-core TLB
+    /** TLB associativity; 0 = fully associative (the paper's model). */
+    unsigned tlbWays = 0;
     unsigned pageBytes = 4096;
 
     // --- Latencies (cycles @ 1 GHz) -------------------------------------

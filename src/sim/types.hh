@@ -50,6 +50,20 @@ inline constexpr ProcId INVALID_PROC = std::numeric_limits<ProcId>::max();
 inline constexpr Cycle NEVER = std::numeric_limits<Cycle>::max();
 
 /**
+ * log2 of a power of two (the geometry constructors turn per-access
+ * divisions into shifts with this; callers validate the power-of-two
+ * precondition).
+ */
+constexpr unsigned
+log2Pow2(std::uint64_t v)
+{
+    unsigned s = 0;
+    while ((std::uint64_t(1) << s) < v)
+        ++s;
+    return s;
+}
+
+/**
  * Security domain of a process or a hardware resource. Strong isolation is
  * defined over these two domains: state belonging to SECURE must never be
  * observable from INSECURE through any shared microarchitecture resource.

@@ -65,16 +65,21 @@ GraphGenWorkload::step(ExecContext &ctx)
     if (cursor_[t] >= limit_[t])
         return false;
 
-    // Generate a small batch of updates per step.
+    // Generate a small batch of updates per step. Loop-invariant sizes
+    // are hoisted so the per-update work is just the rng draws and the
+    // simulated accesses.
     const std::size_t batch =
         std::min<std::size_t>(16, limit_[t] - cursor_[t]);
+    const std::size_t num_sensors = sensors_.size();
+    const std::uint32_t num_edges = graph_.numEdges();
+    Rng &rng = ctx.rng();
     for (std::size_t i = 0; i < batch; ++i) {
         const std::size_t u = cursor_[t]++;
         // Read the sensor covering a random row, derive a new weight.
-        const auto sensor = ctx.rng().nextRange(sensors_.size());
+        const auto sensor = rng.nextRange(num_sensors);
         const std::uint32_t reading = sensors_.read(ctx, sensor);
         const auto edge = static_cast<std::uint32_t>(
-            ctx.rng().nextRange(graph_.numEdges()));
+            rng.nextRange(num_edges));
         const auto wgt = static_cast<std::uint32_t>(
             10 + (reading + ctx.rng().nextRange(90)) % 190);
         ctx.compute(24); // sensor fusion arithmetic
@@ -281,10 +286,13 @@ PageRankWorkload::algoStep(ExecContext &ctx)
         // Thread 0 swaps the rank vectors after everyone's range is done
         // (barrier modelled by the phase join; swap is host-side).
         if (t == 0 && !swapped_) {
-            for (std::size_t i = 0; i < rank_.size(); ++i) {
-                rank_.host(i) = 0.15 / static_cast<double>(rank_.size()) +
-                                0.85 * nextRank_.host(i);
-                nextRank_.host(i) = 0.0;
+            const std::size_t n = rank_.size();
+            const double teleport = 0.15 / static_cast<double>(n);
+            double *const rank_p = rank_.hostData();
+            double *const next_p = nextRank_.hostData();
+            for (std::size_t i = 0; i < n; ++i) {
+                rank_p[i] = teleport + 0.85 * next_p[i];
+                next_p[i] = 0.0;
             }
             swapped_ = true;
         }

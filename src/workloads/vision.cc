@@ -67,13 +67,20 @@ VisionWorkload::step(ExecContext &ctx)
         raw_.scan(ctx, y * w, w, MemOp::LOAD);
         if (y + 1 < p_.height)
             raw_.scan(ctx, (y + 1) * w, w, MemOp::LOAD);
+        const std::uint16_t *const row_p = raw_.hostData() + y * w;
+        const std::uint16_t *const below_p =
+            raw_.hostData() +
+            std::min<std::size_t>(y + 1, p_.height - 1) * w;
+        std::uint32_t *const work_p = work_.hostData() + y * w;
         for (std::size_t x = 0; x < w; ++x) {
-            const std::uint32_t r = raw_.host(y * w + x);
-            const std::uint32_t g = raw_.host(y * w + (x ^ 1));
-            const std::uint32_t b =
-                raw_.host(std::min<std::size_t>(y + 1, p_.height - 1) * w +
-                          x);
-            work_.host(y * w + x) = (r << 20) | (g << 10) | b;
+            // Bayer partner pixel; at an odd width the last column has
+            // no partner and pairs with itself (the unclamped x ^ 1
+            // would read one past the row).
+            const std::size_t xg = (x ^ 1) < w ? (x ^ 1) : x;
+            const std::uint32_t r = row_p[x];
+            const std::uint32_t g = row_p[xg];
+            const std::uint32_t b = below_p[x];
+            work_p[x] = (r << 20) | (g << 10) | b;
         }
         work_.scan(ctx, y * w, w, MemOp::STORE);
         ctx.compute(w * 6);
@@ -84,14 +91,19 @@ VisionWorkload::step(ExecContext &ctx)
         work_.scan(ctx, y0 * w, w, MemOp::LOAD);
         work_.scan(ctx, y * w, w, MemOp::LOAD);
         work_.scan(ctx, y1 * w, w, MemOp::LOAD);
+        const std::uint32_t *const rows[3] = {
+            work_.hostData() + y0 * w,
+            work_.hostData() + y * w,
+            work_.hostData() + y1 * w,
+        };
+        std::uint32_t *const frame_p = frame_.hostData() + y * w;
         for (std::size_t x = 0; x < w; ++x) {
             const std::size_t xl = x > 0 ? x - 1 : x;
             const std::size_t xr = std::min(x + 1, w - 1);
             std::uint64_t acc = 0;
-            for (std::size_t yy : {y0, y, y1})
-                for (std::size_t xx : {xl, x, xr})
-                    acc += work_.host(yy * w + xx);
-            frame_.host(y * w + x) = static_cast<std::uint32_t>(acc / 9);
+            for (const std::uint32_t *rp : rows)
+                acc += rp[xl] + rp[x] + rp[xr];
+            frame_p[x] = static_cast<std::uint32_t>(acc / 9);
         }
         frame_.scan(ctx, y * w, w, MemOp::STORE);
         ctx.compute(w * 10);

@@ -119,17 +119,26 @@ class SimArray
         if (count == 0)
             return;
         constexpr std::size_t LINE = 64;
-        const std::size_t per_line = std::max<std::size_t>(
-            1, LINE / sizeof(T));
-        std::size_t i = begin;
+        constexpr std::size_t per_line =
+            sizeof(T) >= LINE ? 1 : LINE / sizeof(T);
+        // First touch at begin, then one per line boundary: the division
+        // is by a compile-time constant and runs once, not per line.
         const std::size_t end = begin + count;
-        while (i < end) {
+        touch(ctx, begin, op);
+        for (std::size_t i = (begin / per_line + 1) * per_line; i < end;
+             i += per_line) {
             touch(ctx, i, op);
-            const std::size_t line_end =
-                (i / per_line + 1) * per_line;
-            i = std::min(end, line_end);
         }
     }
+
+    /**
+     * Raw host-side storage (no simulated traffic). Hot workload kernels
+     * index this directly so the per-element math does not re-derive
+     * offsets through host(); the simulated accesses still come from
+     * explicit scan()/read()/write() calls.
+     */
+    T *hostData() { return data_.data(); }
+    const T *hostData() const { return data_.data(); }
 
     /** Host-side access (no simulated traffic; for setup/verification). */
     T &host(std::size_t i) { return data_[i]; }

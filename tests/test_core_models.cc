@@ -126,6 +126,48 @@ TEST(RegionOwnership, EvenSplitAndChecker)
     EXPECT_FALSE(check(Domain::INSECURE, 999)); // out of range
 }
 
+TEST(RegionOwnership, ValueCheckMatchesClosureOnAllPairs)
+{
+    // The devirtualized table check installed by the production models
+    // must agree with the closure form on every domain x region pair,
+    // including out-of-range regions, for assorted ownership maps.
+    for (unsigned regions : {1u, 2u, 5u, 8u, 16u}) {
+        RegionOwnership own(regions);
+        for (RegionId r = 0; r < regions; ++r)
+            own.assign(r, r % 3 == 0 ? Domain::SECURE : Domain::INSECURE);
+        const AccessChecker closure = own.makeChecker();
+        const RegionCheck check = own.makeCheck();
+        EXPECT_TRUE(check.enabled());
+        for (Domain d : {Domain::SECURE, Domain::INSECURE}) {
+            for (RegionId r = 0; r < regions + 3; ++r)
+                EXPECT_EQ(check.allows(d, r), closure(d, r))
+                    << "regions=" << regions << " domain="
+                    << static_cast<int>(d) << " region=" << r;
+        }
+    }
+}
+
+TEST(RegionCheck, DefaultAllowsEverythingAndCustomWraps)
+{
+    const RegionCheck off;
+    EXPECT_FALSE(off.enabled());
+    EXPECT_TRUE(off.allows(Domain::INSECURE, 12345));
+
+    const RegionCheck custom = RegionCheck::fromFunction(
+        [](Domain d, RegionId r) {
+            return d == Domain::SECURE && r == 7;
+        });
+    EXPECT_TRUE(custom.enabled());
+    EXPECT_TRUE(custom.allows(Domain::SECURE, 7));
+    EXPECT_FALSE(custom.allows(Domain::SECURE, 6));
+    EXPECT_FALSE(custom.allows(Domain::INSECURE, 7));
+
+    // Clearing via an empty function restores pass-through.
+    const RegionCheck cleared = RegionCheck::fromFunction(nullptr);
+    EXPECT_FALSE(cleared.enabled());
+    EXPECT_TRUE(cleared.allows(Domain::INSECURE, 0));
+}
+
 TEST(PurgeEngine, AccountsCriticalPathCycles)
 {
     Rig r;

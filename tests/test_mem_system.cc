@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/access_check.hh"
 #include "mem/directory.hh"
 #include "mem/memory_system.hh"
 #include "noc/network.hh"
@@ -196,6 +197,53 @@ TEST(MemorySystem, SecureAllowedThroughChecker)
         [](Domain d, RegionId) { return d == Domain::SECURE; });
     const AccessResult res = r.acc(0, 0x1000, MemOp::LOAD);
     EXPECT_FALSE(res.blocked);
+}
+
+TEST(MemorySystem, TableCheckBlocksLikeClosure)
+{
+    // The value-type check the production models install must behave
+    // like the closure escape hatch on the access path itself.
+    Rig r;
+    AddressSpace insecure(r.cfg, r.alloc, 2, Domain::INSECURE);
+    insecure.setAllowedRegions({0});
+    RegionOwnership own(r.cfg.numRegions);
+    own.assign(0, Domain::SECURE); // region 0 secure-owned
+    r.mem.setAccessChecker(own.makeCheck());
+    const AccessResult blocked =
+        r.mem.access(0, insecure, 0x1000, MemOp::LOAD, 0, r.whole);
+    EXPECT_TRUE(blocked.blocked);
+    EXPECT_EQ(r.mem.l1(0).validLines(), 0u);
+    const AccessResult ok = r.acc(0, 0x1000, MemOp::LOAD); // secure space
+    EXPECT_FALSE(ok.blocked);
+    // Clearing restores pass-through for everyone.
+    r.mem.setAccessChecker(RegionCheck());
+    const AccessResult after =
+        r.mem.access(0, insecure, 0x1000, MemOp::LOAD, 0, r.whole);
+    EXPECT_FALSE(after.blocked);
+}
+
+TEST(MemorySystem, SetAssociativeTlbConfigRuns)
+{
+    SysConfig cfg = SysConfig::smallTest();
+    cfg.tlbWays = 2; // 8 entries -> 4 sets of 2
+    cfg.validate();
+    Topology topo{cfg};
+    Network net{cfg, topo};
+    MemorySystem mem{cfg, topo, net};
+    AddressSpace space{cfg, mem.allocator(), 1, Domain::SECURE};
+    const ClusterRange whole{0, topo.numTiles()};
+    EXPECT_EQ(mem.tlb(0).ways(), 2u);
+    EXPECT_EQ(mem.tlb(0).numSets(), 4u);
+    // Touch far more pages than the TLB holds; the per-set structure
+    // must keep serving translations and counting coherently.
+    unsigned accesses = 0;
+    for (VAddr va = 0; va < 64 * cfg.pageBytes; va += cfg.pageBytes / 2) {
+        mem.access(0, space, va, MemOp::LOAD, 0, whole);
+        ++accesses;
+    }
+    EXPECT_EQ(mem.tlb(0).hits() + mem.tlb(0).misses(), accesses);
+    EXPECT_GT(mem.tlb(0).stats().value("evictions"), 0u);
+    EXPECT_LE(mem.tlb(0).validEntriesOf(Domain::SECURE), 8u);
 }
 
 TEST(MemorySystem, DrainControllersClosesRows)

@@ -199,6 +199,16 @@ TEST(Config, SetOverrides)
     cfg.validate();
 }
 
+TEST(Config, TlbWaysValidates)
+{
+    SysConfig cfg;
+    cfg.set("tlbWays", "4");
+    cfg.validate(); // 32 entries / 4 ways = 8 sets
+    cfg.tlbWays = 3; // does not divide 32
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "tlbWays must divide tlbEntries");
+}
+
 TEST(ConfigDeathTest, UnknownKeyIsFatal)
 {
     SysConfig cfg;
