@@ -124,6 +124,36 @@ baselinePath(int argc, char **argv)
 }
 
 /**
+ * Append one markdown line per gated run to the GitHub Actions step
+ * summary (no-op outside CI): the measured-vs-baseline delta in ms and
+ * %, so the perf trajectory and the gate tolerance have visible history
+ * in the job UI without digging through artifacts.
+ */
+void
+appendStepSummary(double wall_ms_best, double base_wall, double delta_ms,
+                  double delta_pct, double tolerance, bool checksum_ok,
+                  int rc)
+{
+    const char *summary = std::getenv("GITHUB_STEP_SUMMARY");
+    if (!summary || !*summary)
+        return;
+    std::FILE *f = std::fopen(summary, "a");
+    if (!f) {
+        warn("cannot append to GITHUB_STEP_SUMMARY '%s'", summary);
+        return;
+    }
+    std::fprintf(
+        f,
+        "### perf_smoke gate: %s\n\n"
+        "| wall_ms_best | baseline | delta | tolerance | checksum |\n"
+        "| --- | --- | --- | --- | --- |\n"
+        "| %.1f ms | %.1f ms | %+.1f ms (%+.1f%%) | +%.0f%% | %s |\n\n",
+        rc == 0 ? "pass" : "FAIL", wall_ms_best, base_wall, delta_ms,
+        delta_pct, tolerance * 100.0, checksum_ok ? "ok" : "DRIFTED");
+    std::fclose(f);
+}
+
+/**
  * The regression gate: compare this run against the baseline report.
  * @return process exit code (0 pass, 1 fail).
  */
@@ -139,8 +169,11 @@ gateAgainstBaseline(const char *path, double wall_ms_best,
     }
     const double tolerance = envTolerance();
     const double limit = base_wall * (1.0 + tolerance);
+    const double delta_ms = wall_ms_best - base_wall;
+    const double delta_pct = delta_ms / base_wall * 100.0;
 
     int rc = 0;
+    bool checksum_ok = true;
     double base_checksum = 0.0;
     if (jsonNumberField(base, "sim_completion_cycles_total",
                         base_checksum) &&
@@ -150,6 +183,7 @@ gateAgainstBaseline(const char *path, double wall_ms_best,
              "intentional modeling change)",
              static_cast<unsigned long long>(completion_total),
              static_cast<unsigned long long>(base_checksum));
+        checksum_ok = false;
         rc = 1;
     }
     if (wall_ms_best > limit) {
@@ -158,11 +192,12 @@ gateAgainstBaseline(const char *path, double wall_ms_best,
              wall_ms_best, limit, base_wall, tolerance * 100.0);
         rc = 1;
     }
-    if (rc == 0) {
-        std::printf("perf gate: pass (wall_ms_best %.1f vs baseline %.1f, "
-                    "limit %.1f)\n",
-                    wall_ms_best, base_wall, limit);
-    }
+    std::printf("perf gate: %s (wall_ms_best %.1f vs baseline %.1f: "
+                "delta %+.1f ms / %+.1f%%, limit %.1f)\n",
+                rc == 0 ? "pass" : "FAIL", wall_ms_best, base_wall,
+                delta_ms, delta_pct, limit);
+    appendStepSummary(wall_ms_best, base_wall, delta_ms, delta_pct,
+                      tolerance, checksum_ok, rc);
     return rc;
 }
 

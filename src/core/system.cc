@@ -22,9 +22,9 @@ System::createProcess(const std::string &name, Domain domain,
     Process &p = *procs_.back();
     // Until a security model configures placement, a process may run
     // anywhere.
-    std::vector<CoreId> all;
+    std::vector<CoreId> all(topo_.numTiles());
     for (CoreId t = 0; t < topo_.numTiles(); ++t)
-        all.push_back(t);
+        all[t] = t;
     p.setCores(all);
     p.setCluster(ClusterRange{0, topo_.numTiles()});
     return p;

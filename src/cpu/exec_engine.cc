@@ -16,17 +16,6 @@ ExecContext::ExecContext(ExecEngine &engine, Process &proc,
 }
 
 void
-ExecContext::access(AddressSpace &space, VAddr va, MemOp op)
-{
-    const AccessResult r = engine_->mem_.access(core_, space, va, op, now_,
-                                                proc_->cluster());
-    now_ = r.finish;
-    lastL1Hit_ = r.l1Hit;
-    lastL2Hit_ = r.l2Hit;
-    ++instructions_;
-}
-
-void
 ExecContext::accessShared(AddressSpace &space, VAddr va, MemOp op)
 {
     // IPC traffic crosses clusters by design; give it machine scope so
@@ -85,11 +74,15 @@ ExecEngine::runPhase(Process &proc, SteppableTask &task, Cycle start)
     // time-multiplex their core (a core runs one thread at a time).
     const unsigned n_threads = proc.requestedThreads();
 
-    std::vector<ExecContext> ctxs;
-    ctxs.reserve(n_threads);
+    // Pooled context arena: re-initialized in place each phase, so after
+    // the first phase at the high-water thread count no per-phase heap
+    // allocation remains. The (time, thread-index) service order below
+    // is untouched by the reuse.
+    ctxPool_.clear();
+    ctxPool_.reserve(n_threads);
     for (unsigned i = 0; i < n_threads; ++i)
-        ctxs.emplace_back(*this, proc, i, n_threads, cores[i % cores.size()],
-                          start);
+        ctxPool_.emplace_back(*this, proc, i, n_threads,
+                              cores[i % cores.size()], start);
 
     // Per-core availability for the multiplexing model: a flat array
     // indexed by CoreId (only this phase's cores are (re)initialized, so
@@ -114,7 +107,7 @@ ExecEngine::runPhase(Process &proc, SteppableTask &task, Cycle start)
         const auto [t, idx] = heap_.front();
         std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
         heap_.pop_back();
-        ExecContext &ctx = ctxs[idx];
+        ExecContext &ctx = ctxPool_[idx];
         // Wait for the core: co-located threads serialize.
         Cycle &free_at = coreFree_[ctx.core()];
         if (free_at > t) {

@@ -149,12 +149,30 @@ class ExecEngine
     Counter &statPhases_;
     /**
      * Scratch state reused across phases so runPhase() allocates nothing
-     * per step: next-free time per core (flat, indexed by CoreId) and the
-     * backing store of the runnable min-heap.
+     * per step *or per phase*: next-free time per core (flat, indexed by
+     * CoreId), the backing store of the runnable min-heap, and the
+     * pooled ExecContext arena (re-initialized in place each phase; its
+     * capacity is the high-water thread count).
      */
     std::vector<Cycle> coreFree_;
     std::vector<std::pair<Cycle, unsigned>> heap_;
+    std::vector<ExecContext> ctxPool_;
 };
+
+// ExecContext::access issues through the engine's MemorySystem, whose
+// L1-hit fast path is itself header-inline — defining this here (after
+// ExecEngine is complete) lets the common hit case run without a single
+// out-of-line call.
+inline void
+ExecContext::access(AddressSpace &space, VAddr va, MemOp op)
+{
+    const AccessResult r = engine_->mem_.access(core_, space, va, op, now_,
+                                                proc_->cluster());
+    now_ = r.finish;
+    lastL1Hit_ = r.l1Hit;
+    lastL2Hit_ = r.l2Hit;
+    ++instructions_;
+}
 
 } // namespace ih
 

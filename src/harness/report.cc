@@ -259,29 +259,60 @@ readTextFile(const std::string &path)
     return out;
 }
 
+namespace
+{
+
+bool
+isJsonWs(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+} // namespace
+
 bool
 jsonNumberField(const std::string &json, const std::string &key,
                 double &out)
 {
+    // Only a real *key position* may match: the quoted key must be
+    // preceded (modulo whitespace) by '{' or ',' and followed (modulo
+    // whitespace) by exactly one ':' and a number. A bare substring
+    // match would also hit the key's text inside a string value (where
+    // it is preceded by ':' or '\\') or a same-named key bound to a
+    // non-number, and a greedy colon/whitespace skip would then read
+    // whatever number happens to come next — the perf gate must never
+    // pull the wrong field out of perf_baseline.json.
     const std::string needle = "\"" + key + "\"";
-    std::size_t pos = json.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    pos += needle.size();
-    while (pos < json.size() &&
-           (json[pos] == ':' ||
-            std::isspace(static_cast<unsigned char>(json[pos])))) {
-        ++pos;
+    std::size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        const std::size_t at = pos;
+        pos += 1; // resume the search inside this occurrence on reject
+        std::size_t before = at;
+        while (before > 0 && isJsonWs(json[before - 1]))
+            --before;
+        if (before == 0 ||
+            (json[before - 1] != '{' && json[before - 1] != ',')) {
+            continue;
+        }
+        std::size_t p = at + needle.size();
+        while (p < json.size() && isJsonWs(json[p]))
+            ++p;
+        if (p >= json.size() || json[p] != ':')
+            continue;
+        ++p; // exactly one colon
+        while (p < json.size() && isJsonWs(json[p]))
+            ++p;
+        if (p >= json.size() || json[p] == ':')
+            continue;
+        const char *start = json.c_str() + p;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            continue;
+        out = v;
+        return true;
     }
-    if (pos >= json.size())
-        return false;
-    const char *start = json.c_str() + pos;
-    char *end = nullptr;
-    const double v = std::strtod(start, &end);
-    if (end == start)
-        return false;
-    out = v;
-    return true;
+    return false;
 }
 
 } // namespace ih

@@ -90,9 +90,12 @@ std::string readTextFile(const std::string &path);
 
 /**
  * Extract the number stored under @p key at any nesting depth of
- * @p json (first occurrence wins). This is a deliberately small
- * flat-scan over `"key": <number>` — enough to read back the reports
- * JsonWriter produces (the perf-gate baseline), not a general parser.
+ * @p json (first *key position* wins: the quoted key preceded, modulo
+ * whitespace, by '{' or ',' and followed by a single ':' and a number —
+ * the key's text inside a string value or bound to a non-number never
+ * matches). This is a deliberately small flat-scan — enough to read
+ * back the reports JsonWriter produces (the perf-gate baseline), not a
+ * general parser.
  * @return true and set @p out when the key was found with a number.
  */
 bool jsonNumberField(const std::string &json, const std::string &key,

@@ -83,7 +83,12 @@ Cache::insert(Addr addr, ProcId owner, Domain domain)
     line.sharers = 0;
     line.ownerProc = owner;
     line.ownerDomain = domain;
-    repl_->touch(set, way);
+    // Same devirtualization as the inline lookup(): fills are the
+    // second-most-frequent replacement touch.
+    if (lru_)
+        lru_->touchFast(set, way);
+    else
+        repl_->touch(set, way);
     statFills_.inc();
     return ev;
 }

@@ -71,22 +71,9 @@ MemorySystem::regionController(RegionId region) const
 }
 
 void
-MemorySystem::noteHome(const AddressSpace &space, const PageInfo &info)
+MemorySystem::noteHomeSlow(NotedHome &slot, HomingMode mode,
+                           const PageInfo &info)
 {
-    // Direct-mapped skip: consecutive accesses stay on a handful of
-    // pages, so most calls would repeat the exact map operation a recent
-    // call already performed (idempotent either way: same-key
-    // try_emplace for local homing, same-key erase for hash homing).
-    // Physical pages are never shared between address spaces, so a
-    // repeat of the same (mode, ppage, home) triple cannot mask another
-    // space's update.
-    const HomingMode mode = space.homingMode();
-    NotedHome &slot =
-        noted_[(info.ppage >> pageShift_) & (NOTED_SLOTS - 1)];
-    if (info.ppage == slot.ppage && mode == slot.mode &&
-        info.homeSlice == slot.home) {
-        return;
-    }
     slot = NotedHome{info.ppage, mode, info.homeSlice};
     if (mode == HomingMode::LOCAL_HOMING) {
         // One hash probe; the map is only written when the entry is new
@@ -101,15 +88,6 @@ MemorySystem::noteHome(const AddressSpace &space, const PageInfo &info)
         // free of any hash-map traffic.
         localHomeByPpage_.erase(info.ppage);
     }
-}
-
-CoreId
-MemorySystem::homeFromInfo(const AddressSpace &space, const PageInfo &info,
-                           Addr line_pa) const
-{
-    if (space.homingMode() == HomingMode::LOCAL_HOMING)
-        return info.homeSlice;
-    return Homing::hashHome(line_pa, space.allowedSlices());
 }
 
 CoreId
@@ -198,56 +176,46 @@ MemorySystem::upgradeLine(CoreId core, Addr line_pa, CoreId home,
 }
 
 AccessResult
-MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
-                     Cycle when, const ClusterRange &cluster)
+MemorySystem::accessSlow(CoreId core, AddressSpace &space,
+                         const PageInfo &info, VAddr va, MemOp op,
+                         Cycle when, const ClusterRange &cluster)
 {
-    IH_ASSERT(core < l1s_.size(), "access from core %u out of range", core);
-    AccessResult res;
-    Cycle t = when;
-    statAccesses_.inc();
-
-    // ---- Translation ----------------------------------------------------
+    // ---- Translation (way-predictor probe already missed) ----------------
     const ProcId proc = space.proc();
-    const PageInfo &info = space.ensureMapped(va);
-    noteHome(space, info);
-    TlbEntry *te = tlbs_[core]->lookup(va, proc);
+    Cycle t = when;
+    bool tlb_hit = true;
+    TlbEntry *te = tlbs_[core]->lookupScan(va, proc);
     if (!te) {
-        res.tlbHit = false;
+        tlb_hit = false;
         t += cfg_.tlbMissLatency; // page walk
-        tlbs_[core]->insert(va, info.ppage, proc, space.domain());
         statTlbMisses_.inc();
     }
     const Addr pa = info.ppage + (va & (cfg_.pageBytes - 1));
-    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
 
     // ---- Hardware region access check ------------------------------------
-    const RegionId region = regionOf(pa);
-    if (!checker_.allows(space.domain(), region)) {
-        statBlockedAccesses_.inc();
-        res.blocked = true;
-        // The request stalls until resolution and is then discarded; the
-        // protection fault costs a pipeline-flush-like penalty.
-        res.finish = t + cfg_.pipelineFlushCycles;
-        return res;
-    }
+    // Deliberately *before* the TLB fill: on a fault the hardware
+    // discards the walked translation instead of installing it, so a
+    // blocked access never primes the TLB/way predictor (or, below, the
+    // home caches) for a line it was not allowed to touch. The page-walk
+    // latency is still charged — the walk had to complete for the
+    // region of the physical address to be known. Pinned by the
+    // blocked-then-allowed test in tests/test_mem_system.cc.
+    if (!checker_.allows(space.domain(), regionOf(pa)))
+        return blockedResult(tlb_hit, t);
+    if (!te)
+        tlbs_[core]->insert(va, info.ppage, proc, space.domain());
+    noteHome(space, info);
 
-    // ---- L1 ---------------------------------------------------------------
-    t += cfg_.l1Latency;
-    statL1Accesses_.inc();
-    if (CacheLine *line = l1s_[core]->lookup(pa)) {
-        res.l1Hit = true;
-        if (op == MemOp::STORE) {
-            if (!line->writable) {
-                const CoreId home = homeFromInfo(space, info, line_pa);
-                t = upgradeLine(core, line_pa, home, t, cluster);
-                line->writable = true;
-            }
-            line->dirty = true;
-        }
-        res.finish = t;
-        return res;
-    }
-    statL1Misses_.inc();
+    return accessL1(core, space, info, pa, op, t, cluster, tlb_hit);
+}
+
+AccessResult
+MemorySystem::accessMiss(CoreId core, AddressSpace &space,
+                         const PageInfo &info, Addr pa, MemOp op, Cycle t,
+                         const ClusterRange &cluster, AccessResult res)
+{
+    const ProcId proc = space.proc();
+    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
 
     // ---- L2 home ----------------------------------------------------------
     const CoreId home = homeFromInfo(space, info, line_pa);
@@ -259,7 +227,7 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
     if (!l2_line) {
         statL2Misses_.inc();
         // ---- Memory controller / DRAM ------------------------------------
-        const McId mc_id = regionMc_[region];
+        const McId mc_id = regionMc_[regionOf(pa)];
         const CoreId mc_tile = topo_.mcAttachTile(mc_id);
         Cycle tm = net_.traverse(home, mc_tile, t, 1, cluster);
         tm += cfg_.hopLatency; // dedicated MC attachment link
@@ -321,6 +289,62 @@ MemorySystem::access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
     t = net_.traverse(home, core, t, dataFlits_, cluster);
     res.finish = t;
     return res;
+}
+
+AccessResult
+MemorySystem::accessReference(CoreId core, AddressSpace &space, VAddr va,
+                              MemOp op, Cycle when,
+                              const ClusterRange &cluster)
+{
+    IH_ASSERT(core < l1s_.size(), "access from core %u out of range", core);
+    AccessResult res;
+    Cycle t = when;
+    statAccesses_.inc();
+
+    // ---- Translation ----------------------------------------------------
+    const ProcId proc = space.proc();
+    const PageInfo &info = space.ensureMapped(va);
+    TlbEntry *te = tlbs_[core]->lookup(va, proc);
+    if (!te) {
+        res.tlbHit = false;
+        t += cfg_.tlbMissLatency; // page walk
+        statTlbMisses_.inc();
+    }
+    const Addr pa = info.ppage + (va & (cfg_.pageBytes - 1));
+    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+
+    // ---- Hardware region access check (before the TLB fill) --------------
+    const RegionId region = regionOf(pa);
+    if (!checker_.allows(space.domain(), region)) {
+        statBlockedAccesses_.inc();
+        res.blocked = true;
+        // The request stalls until resolution and is then discarded; the
+        // protection fault costs a pipeline-flush-like penalty.
+        res.finish = t + cfg_.pipelineFlushCycles;
+        return res;
+    }
+    if (!te)
+        tlbs_[core]->insert(va, info.ppage, proc, space.domain());
+    noteHome(space, info);
+
+    // ---- L1 ---------------------------------------------------------------
+    t += cfg_.l1Latency;
+    statL1Accesses_.inc();
+    if (CacheLine *line = l1s_[core]->lookup(pa)) {
+        res.l1Hit = true;
+        if (op == MemOp::STORE) {
+            if (!line->writable) {
+                const CoreId home = homeFromInfo(space, info, line_pa);
+                t = upgradeLine(core, line_pa, home, t, cluster);
+                line->writable = true;
+            }
+            line->dirty = true;
+        }
+        res.finish = t;
+        return res;
+    }
+    statL1Misses_.inc();
+    return accessMiss(core, space, info, pa, op, t, cluster, res);
 }
 
 Cycle

@@ -35,6 +35,7 @@
 #include "mem/tlb.hh"
 #include "noc/network.hh"
 #include "sim/config.hh"
+#include "sim/log.hh"
 
 namespace ih
 {
@@ -132,6 +133,17 @@ class MemorySystem
     /**
      * Issue one memory operation.
      *
+     * Defined inline: the overwhelmingly common case — translation
+     * answered by the address space's recent-page cache, a predicted
+     * TLB hit, a table region check and an L1 hit — runs straight-line
+     * here (and inlines into ExecContext::access()); everything rarer
+     * drops out of line into accessSlow() (full TLB lookup, page-walk
+     * latency, the blocked-access path) and accessMiss() (L2, directory,
+     * DRAM, writebacks). The equivalence with the single-function
+     * reference implementation accessReference() is pinned by
+     * tests/test_mem_system.cc on a mixed hit/miss/upgrade/blocked
+     * trace.
+     *
      * @param core    issuing tile
      * @param space   address space of the issuing process
      * @param va      virtual address
@@ -139,8 +151,40 @@ class MemorySystem
      * @param when    issue time
      * @param cluster cluster range whose routing rules the traffic obeys
      */
-    AccessResult access(CoreId core, AddressSpace &space, VAddr va,
-                        MemOp op, Cycle when, const ClusterRange &cluster);
+    AccessResult
+    access(CoreId core, AddressSpace &space, VAddr va, MemOp op,
+           Cycle when, const ClusterRange &cluster)
+    {
+        IH_ASSERT(core < l1s_.size(), "access from core %u out of range",
+                  core);
+        statAccesses_.inc();
+        const PageInfo &info = space.ensureMapped(va);
+        TlbEntry *te = tlbs_[core]->lookupPredicted(va, space.proc());
+        if (!te)
+            return accessSlow(core, space, info, va, op, when, cluster);
+        const Addr pa =
+            info.ppage + (va & static_cast<VAddr>(cfg_.pageBytes - 1));
+        if (!checker_.allows(space.domain(), regionOf(pa)))
+            return blockedResult(/*tlb_hit=*/true, when);
+        noteHome(space, info);
+        return accessL1(core, space, info, pa, op, when, cluster,
+                        /*tlb_hit=*/true);
+    }
+
+    /**
+     * Reference implementation of access(): the pre-split straight-line
+     * front half (full TLB lookup, region check, L1 stage in source
+     * order), kept (like Router::path() for the routing walks) so the
+     * predictor-probe dispatch and early-outs of the split access() can
+     * be regression-tested against it — identical AccessResult and
+     * identical counters on any trace. The miss machinery is shared
+     * (accessMiss() was moved, not duplicated). Semantics match
+     * access() exactly, including the check-before-TLB-fill rule for
+     * blocked accesses.
+     */
+    AccessResult accessReference(CoreId core, AddressSpace &space,
+                                 VAddr va, MemOp op, Cycle when,
+                                 const ClusterRange &cluster);
 
     // --- Security / reconfiguration operations --------------------------
 
@@ -206,6 +250,81 @@ class MemorySystem
     }
 
   private:
+    struct NotedHome; // defined with the data members below
+
+    /**
+     * Slow half of access(): the way-predictor probe missed, so finish
+     * the TLB lookup with the set scan, charge the page walk on a real
+     * miss, run the region check (before any TLB fill — see the comment
+     * in the implementation) and rejoin the common L1 stage.
+     */
+    AccessResult accessSlow(CoreId core, AddressSpace &space,
+                            const PageInfo &info, VAddr va, MemOp op,
+                            Cycle when, const ClusterRange &cluster);
+
+    /**
+     * Miss machinery of access(): L2 home lookup, directory actions
+     * (dirty forwarding, invalidations), DRAM fetch, L1 fill and victim
+     * writeback. @p res carries the flags accumulated so far (tlbHit);
+     * @p t is the time after the L1 lookup.
+     */
+    AccessResult accessMiss(CoreId core, AddressSpace &space,
+                            const PageInfo &info, Addr pa, MemOp op,
+                            Cycle t, const ClusterRange &cluster,
+                            AccessResult res);
+
+    /**
+     * Common L1 stage of access()/accessSlow(): charge the L1 latency
+     * and either complete the hit (with a store upgrade when the line
+     * is not writable) or fall into accessMiss(). Inline — this is the
+     * tail of the fast path.
+     */
+    AccessResult
+    accessL1(CoreId core, AddressSpace &space, const PageInfo &info,
+             Addr pa, MemOp op, Cycle when, const ClusterRange &cluster,
+             bool tlb_hit)
+    {
+        AccessResult res;
+        res.tlbHit = tlb_hit;
+        Cycle t = when + cfg_.l1Latency;
+        statL1Accesses_.inc();
+        if (CacheLine *line = l1s_[core]->lookup(pa)) {
+            res.l1Hit = true;
+            if (op == MemOp::STORE) {
+                if (!line->writable) {
+                    const Addr line_pa =
+                        pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+                    const CoreId home = homeFromInfo(space, info, line_pa);
+                    t = upgradeLine(core, line_pa, home, t, cluster);
+                    line->writable = true;
+                }
+                line->dirty = true;
+            }
+            res.finish = t;
+            return res;
+        }
+        statL1Misses_.inc();
+        return accessMiss(core, space, info, pa, op, t, cluster, res);
+    }
+
+    /**
+     * Account and build the result of an access rejected by the region
+     * check. The request stalls until resolution and is then discarded;
+     * the protection fault costs a pipeline-flush-like penalty. No
+     * TLB entry is installed and no home is noted for blocked accesses
+     * (see accessSlow()).
+     */
+    AccessResult
+    blockedResult(bool tlb_hit, Cycle t)
+    {
+        statBlockedAccesses_.inc();
+        AccessResult res;
+        res.tlbHit = tlb_hit;
+        res.blocked = true;
+        res.finish = t + cfg_.pipelineFlushCycles;
+        return res;
+    }
+
     /** Handle an L1 store hit on a non-writable (shared) line. */
     Cycle upgradeLine(CoreId core, Addr line_pa, CoreId home, Cycle when,
                       const ClusterRange &cluster);
@@ -220,16 +339,56 @@ class MemorySystem
     /** Handle an eviction from an L2 slice (back-invalidation). */
     void handleL2Eviction(const CacheLine &victim, Cycle when);
 
-    /** Record the homing information of @p info's page. */
-    void noteHome(const AddressSpace &space, const PageInfo &info);
+    /**
+     * Record the homing information of @p info's page. Inline — it runs
+     * once per (allowed) access, on the fast path.
+     *
+     * Direct-mapped skip: consecutive accesses stay on a handful of
+     * pages, so most calls would repeat the exact map operation a recent
+     * call already performed (idempotent either way: same-key
+     * try_emplace for local homing, same-key erase for hash homing).
+     * Physical pages are never shared between address spaces, so a
+     * repeat of the same (mode, ppage, home) triple cannot mask another
+     * space's update.
+     */
+    void
+    noteHome(const AddressSpace &space, const PageInfo &info)
+    {
+        const HomingMode mode = space.homingMode();
+        // Hash-homed pages are never *in* the map; the only bookkeeping
+        // a hash-mode access can owe is erasing a stale local entry, so
+        // with an empty map (the default configuration) there is nothing
+        // to record at all.
+        if (mode == HomingMode::HASH_FOR_HOMING &&
+            localHomeByPpage_.empty()) {
+            return;
+        }
+        NotedHome &slot =
+            noted_[(info.ppage >> pageShift_) & (NOTED_SLOTS - 1)];
+        if (info.ppage == slot.ppage && mode == slot.mode &&
+            info.homeSlice == slot.home) {
+            return;
+        }
+        noteHomeSlow(slot, mode, info);
+    }
+
+    /** The map-updating tail of noteHome() (new/changed page). */
+    void noteHomeSlow(NotedHome &slot, HomingMode mode,
+                      const PageInfo &info);
 
     /**
      * Home slice of the line at @p line_pa, derived from the PageInfo the
      * access already fetched — unlike AddressSpace::homeOf(), this never
      * re-walks the page table.
      */
-    CoreId homeFromInfo(const AddressSpace &space, const PageInfo &info,
-                        Addr line_pa) const;
+    CoreId
+    homeFromInfo(const AddressSpace &space, const PageInfo &info,
+                 Addr line_pa) const
+    {
+        if (space.homingMode() == HomingMode::LOCAL_HOMING)
+            return info.homeSlice;
+        return Homing::hashHome(line_pa, space.allowedSlices());
+    }
 
     const SysConfig &cfg_;
     const Topology &topo_;
@@ -251,7 +410,7 @@ class MemorySystem
         HomingMode mode = HomingMode::HASH_FOR_HOMING;
         CoreId home = 0;
     };
-    static constexpr unsigned NOTED_SLOTS = 8;
+    static constexpr unsigned NOTED_SLOTS = 32;
     std::array<NotedHome, NOTED_SLOTS> noted_;
     unsigned pageShift_ = 0; ///< log2(cfg.pageBytes)
     std::vector<CoreId> allSlices_;

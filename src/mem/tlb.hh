@@ -59,15 +59,45 @@ class Tlb
     TlbEntry *
     lookup(VAddr vaddr, ProcId proc)
     {
+        if (TlbEntry *e = lookupPredicted(vaddr, proc))
+            return e;
+        return lookupScan(vaddr, proc);
+    }
+
+    /**
+     * The predictor-probe half of lookup(): resolve @p vaddr against the
+     * way-predicted entry only. On a predictor hit the entry is stamped
+     * and the hit counted, exactly as lookup() would; on a predictor
+     * miss *nothing* is counted and nullptr is returned — the caller
+     * must finish with lookupScan() (which then counts the hit or miss)
+     * for the combined counters to match one lookup() call.
+     *
+     * This split exists so MemorySystem::access() can inline just the
+     * probe into its fast path and keep the set scan out of line.
+     * Predictions are validated before use (valid + vpage + proc), so a
+     * stale prediction — e.g. after flushProc()/flushAll(), which leave
+     * wayPred_ untouched — only costs the set scan it would have done
+     * anyway and can never return a flushed entry.
+     */
+    TlbEntry *
+    lookupPredicted(VAddr vaddr, ProcId proc)
+    {
         const VAddr vp = vpageOf(vaddr);
-        const unsigned slot = predSlot(vp);
-        TlbEntry &m = entries_[wayPred_[slot]];
+        TlbEntry &m = entries_[wayPred_[predSlot(vp)]];
         if (m.valid && m.vpage == vp && m.proc == proc) {
             m.stamp = ++tick_;
             statHits_.inc();
             return &m;
         }
-        return lookupSlow(vp, proc, slot);
+        return nullptr;
+    }
+
+    /** The set-scan half of lookup(); see lookupPredicted(). */
+    TlbEntry *
+    lookupScan(VAddr vaddr, ProcId proc)
+    {
+        const VAddr vp = vpageOf(vaddr);
+        return lookupSlow(vp, proc, predSlot(vp));
     }
 
     /** Install a translation, evicting the set's LRU entry if full. */

@@ -20,14 +20,6 @@ Network::Network(const SysConfig &cfg, const Topology &topo)
 }
 
 Cycle
-Network::roundTrip(CoreId a, CoreId b, Cycle when, unsigned req_flits,
-                   unsigned rsp_flits, const ClusterRange &cluster)
-{
-    const Cycle arrive = traverse(a, b, when, req_flits, cluster);
-    return traverse(b, a, arrive, rsp_flits, cluster);
-}
-
-Cycle
 Network::unloadedLatency(CoreId src, CoreId dst) const
 {
     return static_cast<Cycle>(topo_.hopDistance(src, dst)) *

@@ -47,42 +47,37 @@ class Network
     traverse(CoreId src, CoreId dst, Cycle when, unsigned flits,
              const ClusterRange &cluster)
     {
+        // Local access: no network is involved, so no packet, flit or
+        // latency counter moves (a src == dst "traversal" inflating the
+        // traffic stats was a latent accounting bug).
+        if (src == dst)
+            return when;
         statPackets_.inc();
         statFlits_.inc(flits);
-
-        if (src == dst)
-            return when; // local access, no network
-
-        const RouteOrder order = router_.selectOrder(src, cluster);
-
-        if (!router_.orderedRouteContained(src, dst, order, cluster))
-            statIsolationViolations_.inc();
-
-        // Wormhole-ish model: head flit pays hop latency + link wait per
-        // hop; body flits stream behind (serialization charged once at
-        // the end). The route is walked in place — no materialized hop
-        // vector.
-        Cycle t = when;
-        router_.forEachLink(
-            src, dst, order,
-            [&](CoreId from, CoreId, Router::Direction dir) {
-                const std::size_t li = linkIndex(from, dir);
-                if (link_free_[li] > t) {
-                    statLinkStallCycles_.inc(link_free_[li] - t);
-                    t = link_free_[li];
-                }
-                // The link stays busy while all flits stream across it.
-                link_free_[li] = t + flits;
-                t += cfg_.hopLatency;
-            });
-        t += flits > 1 ? (flits - 1) : 0; // tail serialization
-        statTotalLatency_.inc(t - when);
-        return t;
+        return walkLeg(src, topo_.coordOf(src), topo_.coordOf(dst),
+                       when, flits, cluster);
     }
 
-    /** Round trip: request of @p req_flits then reply of @p rsp_flits. */
-    Cycle roundTrip(CoreId a, CoreId b, Cycle when, unsigned req_flits,
-                    unsigned rsp_flits, const ClusterRange &cluster);
+    /**
+     * Round trip: request of @p req_flits then reply of @p rsp_flits.
+     * Fused two-leg walk: each endpoint's coordinate is derived once and
+     * reused for both legs (every invalidation and dirty-forward round
+     * pays this path).
+     */
+    Cycle
+    roundTrip(CoreId a, CoreId b, Cycle when, unsigned req_flits,
+              unsigned rsp_flits, const ClusterRange &cluster)
+    {
+        if (a == b)
+            return when; // local round trip, nothing traverses
+        statPackets_.inc(2);
+        statFlits_.inc(req_flits + rsp_flits);
+        const Coord ca = topo_.coordOf(a);
+        const Coord cb = topo_.coordOf(b);
+        const Cycle arrive = walkLeg(a, ca, cb, when, req_flits,
+                                     cluster);
+        return walkLeg(b, cb, ca, arrive, rsp_flits, cluster);
+    }
 
     /** Latency (no state update) of a one-way traversal without load. */
     Cycle unloadedLatency(CoreId src, CoreId dst) const;
@@ -101,11 +96,66 @@ class Network
     }
 
   private:
-    /** Directed link index for leaving tile @p from towards @p dir. */
-    static std::size_t
-    linkIndex(CoreId from, Router::Direction dir)
+    /**
+     * One directed leg of a traversal from @p src (at coordinate
+     * @p s) to the tile at coordinate @p e (the endpoints differ).
+     *
+     * Wormhole-ish model: head flit pays hop latency + link wait per
+     * hop; body flits stream behind (serialization charged once at the
+     * end). The reservation loop carries the base index of the current
+     * tile's link quad over the raw link_free_ array — one +-4 (X hop)
+     * or +-4*width (Y hop) stride per hop instead of re-deriving
+     * linkIndex(from, dir) from scratch — so the per-hop work is a
+     * compare, two adds and a store.
+     */
+    Cycle
+    walkLeg(CoreId src, const Coord &s, const Coord &e, Cycle when,
+            unsigned flits, const ClusterRange &cluster)
     {
-        return static_cast<std::size_t>(from) * 4 + dir;
+        const RouteOrder order = router_.selectOrder(src, s, cluster);
+        if (!router_.orderedRouteContained(s, e, order, cluster))
+            statIsolationViolations_.inc();
+
+        Cycle *const lf = link_free_.data();
+        const Cycle hop = cfg_.hopLatency;
+        const std::size_t ystride =
+            static_cast<std::size_t>(topo_.width()) * 4;
+        std::size_t li = static_cast<std::size_t>(src) * 4;
+        Cycle t = when;
+        const auto reserve = [&](std::size_t link) {
+            Cycle &slot = lf[link];
+            if (slot > t) {
+                statLinkStallCycles_.inc(slot - t);
+                t = slot;
+            }
+            // The link stays busy while all flits stream across it.
+            slot = t + flits;
+            t += hop;
+        };
+        int x = s.x;
+        int y = s.y;
+        const auto walk_x = [&]() {
+            for (; x < e.x; ++x, li += 4)
+                reserve(li + Router::EAST);
+            for (; x > e.x; --x, li -= 4)
+                reserve(li + Router::WEST);
+        };
+        const auto walk_y = [&]() {
+            for (; y < e.y; ++y, li += ystride)
+                reserve(li + Router::SOUTH);
+            for (; y > e.y; --y, li -= ystride)
+                reserve(li + Router::NORTH);
+        };
+        if (order == RouteOrder::XY) {
+            walk_x();
+            walk_y();
+        } else {
+            walk_y();
+            walk_x();
+        }
+        t += flits > 1 ? (flits - 1) : 0; // tail serialization
+        statTotalLatency_.inc(t - when);
+        return t;
     }
 
     const SysConfig &cfg_;

@@ -188,6 +188,18 @@ class Router
     RouteOrder
     selectOrder(CoreId src, const ClusterRange &cluster) const
     {
+        return selectOrder(src, topo_.coordOf(src), cluster);
+    }
+
+    /**
+     * selectOrder() for a caller that already holds the source
+     * coordinate (the network's fused round-trip walk derives each
+     * endpoint's coordinate once and reuses it for both legs).
+     */
+    RouteOrder
+    selectOrder(CoreId src, const Coord &src_c,
+                const ClusterRange &cluster) const
+    {
         const unsigned width = topo_.width();
         // The boundary row is the row the cluster only partially owns
         // (if any). For a prefix cluster that is the row of its last
@@ -198,7 +210,6 @@ class Router
         const bool ends_aligned =
             (cluster.first + cluster.count) % width == 0;
 
-        const Coord src_c = topo_.coordOf(src);
         if (!ends_aligned) {
             const Coord last_c = topo_.coordOf(cluster.last());
             if (src_c.y == last_c.y && cluster.contains(src))
@@ -231,8 +242,18 @@ class Router
     orderedRouteContained(CoreId src, CoreId dst, RouteOrder order,
                           const ClusterRange &cluster) const
     {
-        const Coord s = topo_.coordOf(src);
-        const Coord d = topo_.coordOf(dst);
+        return orderedRouteContained(topo_.coordOf(src),
+                                     topo_.coordOf(dst), order, cluster);
+    }
+
+    /**
+     * orderedRouteContained() over precomputed endpoint coordinates
+     * (again for the network walk, which already holds them).
+     */
+    bool
+    orderedRouteContained(const Coord &s, const Coord &d, RouteOrder order,
+                          const ClusterRange &cluster) const
+    {
         const CoreId w = topo_.width();
         const auto id = [w](int x, int y) {
             return static_cast<CoreId>(y) * w + static_cast<CoreId>(x);

@@ -354,3 +354,181 @@ TEST(Dram, RowBufferHitsAndPurge)
     d.closeAllRows();
     EXPECT_EQ(d.access(0x40), cfg.dramLatency);       // purged
 }
+
+TEST(MemorySystem, BlockedAccessDoesNotPrimeTlbOrPredictor)
+{
+    // The region check runs after the page walk but *before* the TLB
+    // fill: on a fault the hardware discards the walked translation, so
+    // a blocked access never primes the TLB/way predictor for a line it
+    // was not allowed to touch (a blocked-then-allowed sequence pays
+    // the full walk twice).
+    Rig r;
+    AddressSpace insecure(r.cfg, r.alloc, 2, Domain::INSECURE);
+    insecure.setAllowedRegions({0});
+    r.mem.setAccessChecker([](Domain d, RegionId region) {
+        return !(d == Domain::INSECURE && region == 0);
+    });
+
+    const AccessResult blocked =
+        r.mem.access(0, insecure, 0x1000, MemOp::LOAD, 0, r.whole);
+    EXPECT_TRUE(blocked.blocked);
+    EXPECT_FALSE(blocked.tlbHit);
+    // The walk itself is still charged — the region of the physical
+    // address is only known once it completes.
+    EXPECT_EQ(blocked.finish,
+              r.cfg.tlbMissLatency + r.cfg.pipelineFlushCycles);
+    EXPECT_EQ(r.mem.tlb(0).stats().value("fills"), 0u);
+    EXPECT_EQ(r.mem.tlb(0).misses(), 1u);
+    EXPECT_EQ(r.mem.tlb(0).validEntriesOf(Domain::INSECURE), 0u);
+
+    // Allowed afterwards: nothing was primed, so the access misses the
+    // TLB again and only now installs the entry.
+    r.mem.setAccessChecker(RegionCheck());
+    const AccessResult ok =
+        r.mem.access(0, insecure, 0x1000, MemOp::LOAD, 1000, r.whole);
+    EXPECT_FALSE(ok.blocked);
+    EXPECT_FALSE(ok.tlbHit);
+    EXPECT_EQ(r.mem.tlb(0).misses(), 2u);
+    EXPECT_EQ(r.mem.tlb(0).stats().value("fills"), 1u);
+    EXPECT_EQ(r.mem.tlb(0).validEntriesOf(Domain::INSECURE), 1u);
+
+    // A blocked access that *hits* a legitimately installed entry keeps
+    // it (the entry was earned by an allowed access) and charges only
+    // the protection-fault penalty.
+    r.mem.setAccessChecker([](Domain d, RegionId region) {
+        return !(d == Domain::INSECURE && region == 0);
+    });
+    const AccessResult again =
+        r.mem.access(0, insecure, 0x1000, MemOp::LOAD, 2000, r.whole);
+    EXPECT_TRUE(again.blocked);
+    EXPECT_TRUE(again.tlbHit);
+    EXPECT_EQ(again.finish, 2000 + r.cfg.pipelineFlushCycles);
+    EXPECT_EQ(r.mem.tlb(0).validEntriesOf(Domain::INSECURE), 1u);
+    // Blocked accesses never install cache state either (unchanged).
+    EXPECT_EQ(r.mem.l1(0).validLines(), 1u); // just the allowed line
+}
+
+// ---- Fast-path vs reference equivalence -----------------------------------
+
+namespace
+{
+
+struct EquivRig
+{
+    SysConfig cfg = SysConfig::smallTest();
+    Topology topo{cfg};
+    Network net{cfg, topo};
+    MemorySystem mem{cfg, topo, net};
+    AddressSpace hashSpace{cfg, mem.allocator(), 1, Domain::SECURE};
+    AddressSpace localSpace{cfg, mem.allocator(), 2, Domain::SECURE};
+    AddressSpace insecure{cfg, mem.allocator(), 3, Domain::INSECURE};
+    ClusterRange whole{0, topo.numTiles()};
+
+    AddressSpace &
+    spaceOf(unsigned which)
+    {
+        return which == 0 ? hashSpace
+                          : which == 1 ? localSpace : insecure;
+    }
+};
+
+std::vector<std::pair<std::string, std::uint64_t>>
+countersOf(EquivRig &r)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    const auto add = [&](const StatGroup &g) {
+        for (const auto &[name, c] : g.counters())
+            out.emplace_back(g.name() + "." + name, c.value());
+    };
+    add(r.mem.stats());
+    add(r.net.stats());
+    for (CoreId c = 0; c < r.topo.numTiles(); ++c) {
+        add(r.mem.l1(c).stats());
+        add(r.mem.l2(c).stats());
+        add(r.mem.tlb(c).stats());
+    }
+    for (McId m = 0; m < r.mem.numMcs(); ++m) {
+        add(r.mem.mc(m).stats());
+        add(r.mem.mc(m).dram().stats());
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(MemorySystem, SplitAccessMatchesReferenceOnMixedTrace)
+{
+    // Drive the split access() and the single-function
+    // accessReference() through an identical mixed trace — TLB
+    // hits/misses, L1/L2 hits and misses, store upgrades, sharing,
+    // both homing modes, blocked insecure accesses and a mid-trace
+    // purge (stale way predictions) — and require identical
+    // AccessResults at every step plus identical full counter maps at
+    // the end.
+    EquivRig a; // split fast/miss path
+    EquivRig b; // reference implementation
+    for (EquivRig *r : {&a, &b}) {
+        r->localSpace.setHomingMode(HomingMode::LOCAL_HOMING);
+        r->localSpace.setAllowedSlices({0, 1});
+        r->insecure.setAllowedRegions({0, 1});
+        // Region 0 is secure-owned: the insecure pages that round-robin
+        // into it block, the rest are allowed.
+        r->mem.setAccessChecker([](Domain d, RegionId region) {
+            return !(d == Domain::INSECURE && region == 0);
+        });
+    }
+
+    Cycle ta = 0;
+    Cycle tb = 0;
+    unsigned step = 0;
+    bool saw_blocked = false;
+    bool saw_upgrade_path = false;
+    const auto drive = [&](unsigned which, CoreId core, VAddr va,
+                           MemOp op) {
+        const AccessResult ra =
+            a.mem.access(core, a.spaceOf(which), va, op, ta, a.whole);
+        const AccessResult rb = b.mem.accessReference(
+            core, b.spaceOf(which), va, op, tb, b.whole);
+        ASSERT_EQ(ra.finish, rb.finish) << "step " << step;
+        ASSERT_EQ(ra.tlbHit, rb.tlbHit) << "step " << step;
+        ASSERT_EQ(ra.l1Hit, rb.l1Hit) << "step " << step;
+        ASSERT_EQ(ra.l2Hit, rb.l2Hit) << "step " << step;
+        ASSERT_EQ(ra.blocked, rb.blocked) << "step " << step;
+        saw_blocked |= ra.blocked;
+        saw_upgrade_path |= ra.l1Hit && op == MemOp::STORE;
+        ta = ra.finish;
+        tb = rb.finish;
+        ++step;
+    };
+
+    for (unsigned i = 0; i < 600; ++i) {
+        drive(0, i % 4, 0x10000 + (i * 64) % 8192,
+              (i % 3 == 0) ? MemOp::STORE : MemOp::LOAD);
+        if (i % 7 == 0) {
+            drive(1, (i % 4) + 4, 0x40000 + (i * 64) % 16384,
+                  (i % 2) ? MemOp::STORE : MemOp::LOAD);
+        }
+        if (i % 5 == 0) {
+            drive(2, i % 4, 0x1000 + (i % 4) * 0x2000,
+                  (i % 2) ? MemOp::STORE : MemOp::LOAD);
+        }
+    }
+    ASSERT_TRUE(saw_blocked) << "trace never exercised the blocked path";
+    ASSERT_TRUE(saw_upgrade_path);
+
+    // Purge, then keep going: cold TLBs + stale way predictions.
+    ta = a.mem.purgePrivate({0, 1, 2, 3}, ta);
+    tb = b.mem.purgePrivate({0, 1, 2, 3}, tb);
+    ASSERT_EQ(ta, tb);
+    for (unsigned i = 0; i < 200; ++i)
+        drive(0, i % 4, 0x10000 + (i * 64) % 8192, MemOp::LOAD);
+
+    const auto ca = countersOf(a);
+    const auto cb = countersOf(b);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_EQ(ca[i].first, cb[i].first) << "at index " << i;
+        EXPECT_EQ(ca[i].second, cb[i].second)
+            << "counter " << ca[i].first << " diverged";
+    }
+}

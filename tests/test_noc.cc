@@ -413,3 +413,90 @@ TEST(Routing, AnalyticContainmentMatchesPathScan)
         }
     }
 }
+
+// The strided link-reservation walk inside Network::traverse (walkLeg
+// carries the link_free_ base index with +-4 / +-4*width strides) must
+// reserve exactly the links, in exactly the order, that the reference
+// Router::forEachLink walk yields — same arrival times, same stall and
+// latency counters, for every (src, dst) pair, under both a
+// whole-machine cluster (X-Y routes) and a partial-row cluster (Y-X
+// routes from the boundary row), with link state carried across packets
+// so contention is exercised too.
+TEST(Network, TraverseMatchesForEachLinkReservationModel)
+{
+    for (const auto &[w, h] : {std::pair<unsigned, unsigned>{4, 4},
+                               std::pair<unsigned, unsigned>{6, 6}}) {
+        const SysConfig cfg = meshCfg(w, h);
+        const Topology topo(cfg);
+        const Router router(topo);
+        Network net(cfg, topo);
+        const unsigned tiles = topo.numTiles();
+        // 10 tiles: rows 0-1 plus part of row 2 on the 4x4 mesh — a
+        // partially owned boundary row, so sources there select Y-X.
+        const std::vector<ClusterRange> clusters = {
+            ClusterRange{0, tiles}, ClusterRange{0, 2 * w + w / 2}};
+
+        // Shadow reservation model, advanced in lockstep with the real
+        // network (which never resets between packets here).
+        std::vector<Cycle> shadow(static_cast<std::size_t>(tiles) * 4, 0);
+        Cycle when = 0;
+        std::uint64_t stalls = 0;
+        std::uint64_t latency = 0;
+        const auto reference = [&](CoreId src, CoreId dst, Cycle t0,
+                                   unsigned flits,
+                                   const ClusterRange &cluster) {
+            const RouteOrder order = router.selectOrder(src, cluster);
+            Cycle t = t0;
+            router.forEachLink(
+                src, dst, order,
+                [&](CoreId from, CoreId, Router::Direction dir) {
+                    Cycle &slot =
+                        shadow[static_cast<std::size_t>(from) * 4 + dir];
+                    if (slot > t) {
+                        stalls += slot - t;
+                        t = slot;
+                    }
+                    slot = t + flits;
+                    t += cfg.hopLatency;
+                });
+            t += flits > 1 ? (flits - 1) : 0;
+            latency += t - t0;
+            return t;
+        };
+
+        for (const ClusterRange &cluster : clusters) {
+            for (CoreId src = 0; src < tiles; ++src) {
+                for (CoreId dst = 0; dst < tiles; ++dst) {
+                    if (src == dst)
+                        continue;
+                    const unsigned flits = 1 + (src + dst) % 5;
+                    const Cycle expect =
+                        reference(src, dst, when, flits, cluster);
+                    const Cycle got =
+                        net.traverse(src, dst, when, flits, cluster);
+                    ASSERT_EQ(got, expect)
+                        << w << "x" << h << " src " << src << " dst "
+                        << dst << " cluster [" << cluster.first << ","
+                        << cluster.count << ")";
+                    // Staggered injection keeps some links contended.
+                    when += (src * 7 + dst) % 3;
+                }
+            }
+        }
+        // The fused round trip must equal two reference legs.
+        for (CoreId src = 0; src < tiles; ++src) {
+            const CoreId dst = (src * 13 + 5) % tiles;
+            if (src == dst)
+                continue;
+            const Cycle mid = reference(src, dst, when, 1, clusters[0]);
+            const Cycle expect =
+                reference(dst, src, mid, 5, clusters[0]);
+            ASSERT_EQ(net.roundTrip(src, dst, when, 1, 5, clusters[0]),
+                      expect)
+                << w << "x" << h << " round trip " << src;
+            when += 11;
+        }
+        EXPECT_EQ(net.stats().value("link_stall_cycles"), stalls);
+        EXPECT_EQ(net.stats().value("total_latency"), latency);
+    }
+}

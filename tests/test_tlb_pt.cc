@@ -398,3 +398,61 @@ TEST_P(RegionConfinement, AllPagesInAllowedRegions)
 
 INSTANTIATE_TEST_SUITE_P(EachRegion, RegionConfinement,
                          testing::Range(0u, 4u));
+
+// ---- Way-predictor staleness ----------------------------------------------
+//
+// The predictor in front of the set scan is an implementation shortcut:
+// every prediction is validated (valid + vpage + proc) before use, so a
+// stale slot left behind by flushAll()/flushProc() or by entry reuse may
+// only cost the set scan the lookup would have done anyway — it must
+// never surface a flushed entry, and the hit/miss counters must be
+// exactly what an unpredicted TLB would report.
+
+TEST(Tlb, StalePredictionAfterFlushAllNeverReturnsFlushedEntry)
+{
+    Tlb tlb("t", 8, 4096, 2);
+    tlb.insert(0x1000, 0xA000, 1, Domain::SECURE);
+    ASSERT_NE(tlb.lookup(0x1000, 1), nullptr); // predictor now primed
+
+    tlb.flushAll(); // predictor slots deliberately survive the flush
+    EXPECT_EQ(tlb.lookupPredicted(0x1000, 1), nullptr);
+    EXPECT_EQ(tlb.lookup(0x1000, 1), nullptr);
+    EXPECT_EQ(tlb.misses(), 1u); // the stale prediction cost one miss, once
+    EXPECT_EQ(tlb.hits(), 1u);   // only the pre-flush lookup hit
+}
+
+TEST(Tlb, StalePredictionAfterFlushProcIsProcChecked)
+{
+    Tlb tlb("t", 8, 4096, 2);
+    tlb.insert(0x1000, 0xA000, 1, Domain::SECURE);
+    ASSERT_NE(tlb.lookup(0x1000, 1), nullptr);
+
+    tlb.flushProc(1);
+    // Reuse the flushed entry's storage for another process's mapping of
+    // the same virtual page: the stale prediction for proc 1 now points
+    // at a *valid* entry — owned by proc 2.
+    tlb.insert(0x1000, 0xB000, 2, Domain::INSECURE);
+
+    EXPECT_EQ(tlb.lookup(0x1000, 1), nullptr); // never proc 2's entry
+    TlbEntry *e = tlb.lookup(0x1000, 2);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppage, 0xB000u);
+    EXPECT_EQ(e->proc, 2u);
+}
+
+TEST(Tlb, StalePredictionFallsBackToSetScanHit)
+{
+    // Two pages sharing a predictor slot (and here a set, in different
+    // ways): after the second insert retargets the shared slot, looking
+    // the first page up again must still *hit* via the set scan, with
+    // exactly one hit counted — predictor misses are not TLB misses.
+    Tlb tlb("t", 32, 4096, 2); // 16 sets, predictor has 16 slots
+    tlb.insert(0x0000, 0xA000, 1, Domain::SECURE);
+    tlb.insert(0x1000 * 16, 0xB000, 1, Domain::SECURE); // same slot, set 0
+    const std::uint64_t hits_before = tlb.hits();
+    TlbEntry *e = tlb.lookup(0x0000, 1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppage, 0xA000u);
+    EXPECT_EQ(tlb.hits(), hits_before + 1);
+    EXPECT_EQ(tlb.misses(), 0u);
+}
