@@ -18,7 +18,8 @@
  *   {
  *     "schema": "BENCH_perf/v1",
  *     "bench": "perf_smoke",
- *     "scale": ..., "threads": ..., "repeats": ..., "jobs": ...,
+ *     "scale": ..., "threads": ..., "domains": ..., "repeats": ...,
+ *     "jobs": ...,
  *     "wall_ms": ..., "wall_ms_best": ..., "jobs_per_sec": ...,
  *     "sim_completion_cycles_total": ...,  // determinism checksum
  *     "sim_instructions_total": ...,
@@ -38,7 +39,8 @@
  * Knobs: IRONHIDE_PERF_SCALE (default 0.1), IRONHIDE_PERF_REPEATS
  * (default 1, best-of-N), IRONHIDE_THREADS (default 1 — single-run
  * speed is the quantity under test), IRONHIDE_PERF_TOLERANCE (gate
- * slack, default 0.15).
+ * slack, default 0.15), IRONHIDE_DOMAINS (intra-run domain workers,
+ * default 1 — wall time only, the checksum must not move).
  */
 
 #include <chrono>
@@ -62,26 +64,20 @@ namespace
 double
 envScale()
 {
-    const char *v = std::getenv("IRONHIDE_PERF_SCALE");
-    if (!v || !*v)
-        return 0.1;
-    const double s = std::atof(v);
-    if (s <= 0.0) {
-        warn("ignoring invalid IRONHIDE_PERF_SCALE='%s'", v);
-        return 0.1;
-    }
-    return s;
+    return envPositiveDouble("IRONHIDE_PERF_SCALE", 0.1);
 }
 
 unsigned
 envRepeats()
 {
-    const char *v = std::getenv("IRONHIDE_PERF_REPEATS");
-    if (!v || !*v)
+    // Same strict parsing as every other knob (std::atoi accepted
+    // trailing garbage and overflows into undefined behaviour).
+    unsigned long n = 0;
+    if (!parseEnvUnsigned("IRONHIDE_PERF_REPEATS",
+                          std::getenv("IRONHIDE_PERF_REPEATS"), 1000, n))
         return 1;
-    const int n = std::atoi(v);
     if (n < 1) {
-        warn("ignoring invalid IRONHIDE_PERF_REPEATS='%s'", v);
+        warn("ignoring invalid IRONHIDE_PERF_REPEATS='0'");
         return 1;
     }
     return static_cast<unsigned>(n);
@@ -90,15 +86,10 @@ envRepeats()
 double
 envTolerance()
 {
-    const char *v = std::getenv("IRONHIDE_PERF_TOLERANCE");
-    if (!v || !*v)
-        return 0.15;
-    const double t = std::atof(v);
-    if (t <= 0.0) {
-        warn("ignoring invalid IRONHIDE_PERF_TOLERANCE='%s'", v);
-        return 0.15;
-    }
-    return t;
+    // Strict parsing matters here: std::atof accepted "0.15abc" and
+    // "inf" — the latter would have silently disabled the wall-time
+    // gate (see parsePositiveDouble, unit-tested in test_harness.cc).
+    return envPositiveDouble("IRONHIDE_PERF_TOLERANCE", 0.15);
 }
 
 const char *
@@ -130,9 +121,9 @@ baselinePath(int argc, char **argv)
  * in the job UI without digging through artifacts.
  */
 void
-appendStepSummary(double wall_ms_best, double base_wall, double delta_ms,
-                  double delta_pct, double tolerance, bool checksum_ok,
-                  int rc)
+appendStepSummary(unsigned domains, double wall_ms_best, double base_wall,
+                  double delta_ms, double delta_pct, double tolerance,
+                  bool checksum_ok, int rc)
 {
     const char *summary = std::getenv("GITHUB_STEP_SUMMARY");
     if (!summary || !*summary)
@@ -142,14 +133,21 @@ appendStepSummary(double wall_ms_best, double base_wall, double delta_ms,
         warn("cannot append to GITHUB_STEP_SUMMARY '%s'", summary);
         return;
     }
+    // The domains count labels the leg: the serial and the
+    // IRONHIDE_DOMAINS=N gate runs land in the same step summary, and
+    // the parallel leg's wall history is what decides when its gate
+    // gets promoted from advisory (see ROADMAP.md).
     std::fprintf(
         f,
-        "### perf_smoke gate: %s\n\n"
-        "| wall_ms_best | baseline | delta | tolerance | checksum |\n"
-        "| --- | --- | --- | --- | --- |\n"
-        "| %.1f ms | %.1f ms | %+.1f ms (%+.1f%%) | +%.0f%% | %s |\n\n",
-        rc == 0 ? "pass" : "FAIL", wall_ms_best, base_wall, delta_ms,
-        delta_pct, tolerance * 100.0, checksum_ok ? "ok" : "DRIFTED");
+        "### perf_smoke gate (domains=%u): %s\n\n"
+        "| domains | wall_ms_best | baseline | delta | tolerance "
+        "| checksum |\n"
+        "| --- | --- | --- | --- | --- | --- |\n"
+        "| %u | %.1f ms | %.1f ms | %+.1f ms (%+.1f%%) | +%.0f%% "
+        "| %s |\n\n",
+        domains, rc == 0 ? "pass" : "FAIL", domains, wall_ms_best,
+        base_wall, delta_ms, delta_pct, tolerance * 100.0,
+        checksum_ok ? "ok" : "DRIFTED");
     std::fclose(f);
 }
 
@@ -158,8 +156,8 @@ appendStepSummary(double wall_ms_best, double base_wall, double delta_ms,
  * @return process exit code (0 pass, 1 fail).
  */
 int
-gateAgainstBaseline(const char *path, double wall_ms_best,
-                    std::uint64_t completion_total)
+gateAgainstBaseline(const char *path, unsigned domains,
+                    double wall_ms_best, std::uint64_t completion_total)
 {
     const std::string base = readTextFile(path);
     double base_wall = 0.0;
@@ -196,8 +194,8 @@ gateAgainstBaseline(const char *path, double wall_ms_best,
                 "delta %+.1f ms / %+.1f%%, limit %.1f)\n",
                 rc == 0 ? "pass" : "FAIL", wall_ms_best, base_wall,
                 delta_ms, delta_pct, limit);
-    appendStepSummary(wall_ms_best, base_wall, delta_ms, delta_pct,
-                      tolerance, checksum_ok, rc);
+    appendStepSummary(domains, wall_ms_best, base_wall, delta_ms,
+                      delta_pct, tolerance, checksum_ok, rc);
     return rc;
 }
 
@@ -222,6 +220,11 @@ main(int argc, char **argv)
     unsigned threads = sweepThreads();
     if (threads == 0)
         threads = 1;
+    // Intra-run domain workers (IRONHIDE_DOMAINS, default 1 = serial).
+    // The knob only moves wall time; the determinism checksum must be
+    // byte-identical at every value — CI runs the gate at 1 and 4 and
+    // fails on any drift.
+    const unsigned domains = effectiveDomains(benchConfig());
 
     const std::vector<SweepJob> jobs =
         SweepGrid()
@@ -264,6 +267,7 @@ main(int argc, char **argv)
     table.addRow({"jobs", strprintf("%zu", jobs.size())});
     table.addRow({"scale", Table::num(scale, 3)});
     table.addRow({"threads", strprintf("%u", threads)});
+    table.addRow({"domains", strprintf("%u", domains)});
     table.addRow({"repeats", strprintf("%u", repeats)});
     table.addRow({"wall(ms) mean", Table::num(wall_ms, 1)});
     table.addRow({"wall(ms) best", Table::num(wall_ms_best, 1)});
@@ -281,6 +285,7 @@ main(int argc, char **argv)
         w.key("bench").value("perf_smoke");
         w.key("scale").value(scale);
         w.key("threads").value(threads);
+        w.key("domains").value(domains);
         w.key("repeats").value(repeats);
         w.key("jobs").value(std::uint64_t{jobs.size()});
         w.key("wall_ms").value(wall_ms);
@@ -301,7 +306,7 @@ main(int argc, char **argv)
         inform("wrote perf report: %s", json_path);
     }
     if (baseline_path)
-        return gateAgainstBaseline(baseline_path, wall_ms_best,
+        return gateAgainstBaseline(baseline_path, domains, wall_ms_best,
                                    completion_total);
     return 0;
 }

@@ -1,0 +1,77 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ih
+{
+
+void
+parallelForIndex(std::size_t n, unsigned workers,
+                 const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers > n)
+        workers = static_cast<unsigned>(n);
+    if (workers <= 1) {
+        // Serial reference semantics: run in index order, stop at the
+        // first throw. The parallel path below reproduces exactly this
+        // observable behaviour.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    // Claims stop past the smallest failing index seen so far: jobs
+    // after the serial first-failure would never have run serially, so
+    // there is no reason to start them — but every job *below* a
+    // failure must still run, since one of them may produce the
+    // (canonically smaller) error that actually propagates.
+    std::atomic<std::size_t> limit{n};
+    std::mutex mtx; // guards err/err_idx
+    std::exception_ptr err;
+    std::size_t err_idx = std::numeric_limits<std::size_t>::max();
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= limit.load(std::memory_order_relaxed) || i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mtx);
+                if (i < err_idx) {
+                    err_idx = i;
+                    err = std::current_exception();
+                }
+                // The check-then-store runs under the same mutex as
+                // err_idx, so limit shrinks monotonically. It only
+                // gates *new* claims — an index already claimed past a
+                // shrinking limit merely does work a serial run would
+                // have skipped — and err_idx above stays the
+                // authoritative minimum regardless.
+                if (i + 1 < limit.load(std::memory_order_relaxed))
+                    limit.store(i + 1, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace ih

@@ -1,6 +1,8 @@
 #include "harness/report.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -228,6 +230,51 @@ JsonWriter::escape(const std::string &s)
         }
     }
     return out;
+}
+
+double
+parsePositiveDouble(const char *name, const char *value, double fallback)
+{
+    if (!value || !*value)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    // Reject partial parses ("0.15abc"), overflow/underflow (ERANGE),
+    // non-finite spellings ("inf", "nan") and non-positive numbers —
+    // all of which std::atof would have handed back unflagged.
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v) || v <= 0.0) {
+        warn("ignoring invalid %s='%s'", name, value);
+        return fallback;
+    }
+    return v;
+}
+
+double
+envPositiveDouble(const char *name, double fallback)
+{
+    return parsePositiveDouble(name, std::getenv(name), fallback);
+}
+
+bool
+parseEnvUnsigned(const char *name, const char *value,
+                 unsigned long max_value, unsigned long &out)
+{
+    if (!value || !*value)
+        return false;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    // strtoul silently wraps negatives, so reject them explicitly,
+    // along with partial parses ("4abc") and absurd magnitudes
+    // (overflow lands on ULONG_MAX and fails the cap).
+    if (value[0] == '-' || end == value || *end != '\0' ||
+        v > max_value) {
+        warn("ignoring invalid %s='%s'", name, value);
+        return false;
+    }
+    out = v;
+    return true;
 }
 
 void

@@ -82,6 +82,32 @@ class JsonWriter
     bool afterKey_ = false;
 };
 
+/**
+ * Strictly-validated positive-double parsing for environment knobs.
+ * Unlike std::atof — which silently accepts trailing garbage
+ * ("0.15abc" parses as 0.15) and non-finite values ("inf" would
+ * disable a gate tolerance outright) — this accepts only a complete,
+ * finite, in-range, strictly positive decimal number. Anything else
+ * warns (naming @p name) and returns @p fallback; a null/empty
+ * @p value returns @p fallback silently.
+ */
+double parsePositiveDouble(const char *name, const char *value,
+                           double fallback);
+
+/** parsePositiveDouble() over getenv(@p name). */
+double envPositiveDouble(const char *name, double fallback);
+
+/**
+ * Strictly-validated unsigned parsing for the worker-count environment
+ * knobs (IRONHIDE_THREADS, IRONHIDE_DOMAINS): a complete decimal
+ * number with no leading '-' (std::strtoul silently wraps negatives)
+ * and at most @p max_value. On success sets @p out and returns true;
+ * anything else warns (naming @p name) and returns false, except a
+ * null/empty @p value, which fails silently (unset knob).
+ */
+bool parseEnvUnsigned(const char *name, const char *value,
+                      unsigned long max_value, unsigned long &out);
+
 /** Write @p text to @p path, fatal() on failure. */
 void writeTextFile(const std::string &path, const std::string &text);
 

@@ -6,10 +6,10 @@
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
-#include <exception>
 #include <mutex>
 #include <thread>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "sim/log.hh"
 
@@ -63,6 +63,13 @@ SweepGrid::options(const IronhideOptions &opts, std::string tag)
     return *this;
 }
 
+SweepGrid &
+SweepGrid::tlbWays(std::initializer_list<unsigned> ways)
+{
+    tlbWays_.insert(tlbWays_.end(), ways.begin(), ways.end());
+    return *this;
+}
+
 std::vector<SweepJob>
 SweepGrid::jobs() const
 {
@@ -79,18 +86,49 @@ SweepGrid::jobs() const
                   {IronhideOptions{}, ""}}
             : opts_;
 
+    // The TLB dimension is expressed as (ways override, tag suffix)
+    // pairs; "no dimension" is a single pass-through of the base
+    // config so the loop below stays regular.
+    struct TlbVariant
+    {
+        bool override_ = false;
+        unsigned ways = 0;
+        std::string tag;
+    };
+    std::vector<TlbVariant> tlbs;
+    if (tlbWays_.empty()) {
+        tlbs.push_back({});
+    } else {
+        for (unsigned w : tlbWays_) {
+            TlbVariant v;
+            v.override_ = true;
+            v.ways = w;
+            v.tag = w == 0 ? "tlb=fa" : strprintf("tlb=%uway", w);
+            tlbs.push_back(std::move(v));
+        }
+    }
+
     std::vector<SweepJob> out;
-    out.reserve(apps_.size() * archs.size() * opts.size());
+    out.reserve(apps_.size() * archs.size() * opts.size() * tlbs.size());
     for (const AppSpec &app : apps_) {
         for (const ArchKind kind : archs) {
             for (const auto &[ihopts, tag] : opts) {
-                SweepJob job;
-                job.app = app;
-                job.arch = kind;
-                job.cfg = cfg;
-                job.ihopts = ihopts;
-                job.tag = tag;
-                out.push_back(std::move(job));
+                for (const TlbVariant &tlb : tlbs) {
+                    SweepJob job;
+                    job.app = app;
+                    job.arch = kind;
+                    job.cfg = cfg;
+                    job.ihopts = ihopts;
+                    job.tag = tag;
+                    if (tlb.override_) {
+                        job.cfg.tlbWays = tlb.ways;
+                        job.cfg.validate();
+                        job.tag = job.tag.empty()
+                                      ? tlb.tag
+                                      : job.tag + " " + tlb.tag;
+                    }
+                    out.push_back(std::move(job));
+                }
             }
         }
     }
@@ -118,55 +156,23 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     if (jobs.empty())
         return results;
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, jobs.size()));
-
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mtx; // guards first_error + progress callback
-    std::exception_ptr first_error;
+    std::mutex mtx; // serializes the progress callback
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            {
-                std::lock_guard<std::mutex> lk(mtx);
-                if (first_error)
-                    return; // stop claiming work after a failure
-            }
-            try {
-                const SweepJob &job = jobs[i];
-                results[i] =
-                    runExperiment(job.app, job.arch, job.cfg, job.ihopts);
-                const std::size_t n = done.fetch_add(1) + 1;
-                if (progress) {
-                    std::lock_guard<std::mutex> lk(mtx);
-                    progress(n, jobs.size(), results[i]);
-                }
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(mtx);
-                if (!first_error)
-                    first_error = std::current_exception();
-                return;
-            }
+    // parallelForIndex supplies the determinism contract: results land
+    // in job order, and a multi-failure sweep rethrows the error of the
+    // first failing job in canonical order (not whichever worker lost
+    // the wall-clock race).
+    parallelForIndex(jobs.size(), threads_, [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        results[i] =
+            runExperiment(job.app, job.arch, job.cfg, job.ihopts);
+        const std::size_t n = done.fetch_add(1) + 1;
+        if (progress) {
+            std::lock_guard<std::mutex> lk(mtx);
+            progress(n, jobs.size(), results[i]);
         }
-    };
-
-    if (workers == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
-
-    if (first_error)
-        std::rethrow_exception(first_error);
+    });
     return results;
 }
 
@@ -217,9 +223,12 @@ summarize(const std::vector<ExperimentResult> &results)
             acc->agg.arch = r.arch;
         }
         ++acc->agg.jobs;
-        acc->completionMs.push_back(r.run.completionMs());
-        // Clamp zero rates so geomean stays meaningful for sweeps where
-        // some cells miss never (matches the fig7 convention).
+        // Clamp zero values so geomean stays meaningful (and defined —
+        // geomean() rejects non-positive inputs) for degenerate cells:
+        // zero completion from an empty timed region, zero rates for
+        // sweeps where some cells miss never (the fig7 convention).
+        acc->completionMs.push_back(
+            std::max(1e-9, r.run.completionMs()));
         acc->l1.push_back(std::max(1e-6, r.run.l1MissRate));
         acc->l2.push_back(std::max(1e-6, r.run.l2MissRate));
         acc->secureCores += r.run.secureCores;
@@ -255,15 +264,12 @@ summarize(const std::vector<ExperimentResult> &results)
 unsigned
 sweepThreads()
 {
-    if (const char *env = std::getenv("IRONHIDE_THREADS")) {
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        // strtoul silently wraps negatives, so reject them explicitly,
-        // along with absurd counts that would oversubscribe the host.
-        if (env[0] != '-' && end && *end == '\0' && v <= 4096)
-            return static_cast<unsigned>(v);
-        warn("ignoring invalid IRONHIDE_THREADS='%s'", env);
-    }
+    // Strict shared parsing (see parseEnvUnsigned): the 4096 cap
+    // rejects counts that would oversubscribe any plausible host.
+    unsigned long v = 0;
+    if (parseEnvUnsigned("IRONHIDE_THREADS",
+                         std::getenv("IRONHIDE_THREADS"), 4096, v))
+        return static_cast<unsigned>(v);
     return 0;
 }
 

@@ -60,10 +60,20 @@ class SweepGrid
     SweepGrid &options(const IronhideOptions &opts, std::string tag = "");
 
     /**
-     * Enumerate the grid app-major, then arch, then options — the
-     * canonical job order every report uses. Defaults apply when a
-     * dimension was never populated: arch IRONHIDE, one default
-     * IronhideOptions, the default-validated SysConfig.
+     * TLB-geometry dimension: one job per associativity in @p ways
+     * (0 = fully associative, the paper's model), overriding
+     * cfg.tlbWays per job and suffixing the tag with "tlb=fa" /
+     * "tlb=<N>way". Never populated = a single pass-through of the
+     * base config (no tag suffix).
+     */
+    SweepGrid &tlbWays(std::initializer_list<unsigned> ways);
+
+    /**
+     * Enumerate the grid app-major, then arch, then options, then TLB
+     * geometry (innermost) — the canonical job order every report
+     * uses. Defaults apply when a dimension was never populated: arch
+     * IRONHIDE, one default IronhideOptions, the default-validated
+     * SysConfig, the base config's TLB geometry.
      */
     std::vector<SweepJob> jobs() const;
 
@@ -73,6 +83,7 @@ class SweepGrid
     std::vector<AppSpec> apps_;
     std::vector<ArchKind> archs_;
     std::vector<std::pair<IronhideOptions, std::string>> opts_;
+    std::vector<unsigned> tlbWays_;
 };
 
 /**
@@ -99,9 +110,11 @@ class SweepRunner
         std::size_t done, std::size_t total, const ExperimentResult &r)>;
 
     /**
-     * Run every job and return the results in job order. Exceptions
-     * thrown by a job are rethrown in the caller after all workers
-     * stop claiming new jobs.
+     * Run every job and return the results in job order. When jobs
+     * throw, the exception rethrown in the caller is the one of the
+     * first failing job in canonical job order — the same error a
+     * serial loop over the jobs would have produced, regardless of
+     * worker interleaving (jobs past that index may be skipped).
      */
     std::vector<ExperimentResult>
     run(const std::vector<SweepJob> &jobs,

@@ -54,6 +54,7 @@ SysConfig::set(const std::string &key, const std::string &value)
     else if (key == "seed") seed = std::strtoull(value.c_str(), nullptr, 0);
     else if (key == "workScale") workScale = std::strtod(value.c_str(),
                                                          nullptr);
+    else if (key == "domains") domains = as_u();
     else
         fatal("unknown config key '%s'", key.c_str());
     return *this;
@@ -91,6 +92,8 @@ SysConfig::validate() const
         fatal("mesh must have at least two rows to form two clusters");
     if (workScale <= 0.0)
         fatal("workScale must be positive");
+    if (domains == 0 || domains > 256)
+        fatal("domains must be in [1, 256] (got %u)", domains);
 }
 
 SysConfig

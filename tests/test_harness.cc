@@ -1,14 +1,21 @@
 /**
  * @file
  * Harness tests: table rendering, experiment plumbing, the split
- * decision policies, and the scale environment knob.
+ * decision policies, environment-knob parsing, and the deterministic
+ * fork-join primitive.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 
 using namespace ih;
@@ -63,7 +70,122 @@ TEST(BenchScale, ReadsEnvironment)
     EXPECT_EQ(benchScale(), 0.25);
     setenv("IRONHIDE_SCALE", "garbage", 1);
     EXPECT_EQ(benchScale(), 1.0); // warns and falls back
+    setenv("IRONHIDE_SCALE", "0.25abc", 1);
+    EXPECT_EQ(benchScale(), 1.0); // trailing garbage: warns, falls back
     unsetenv("IRONHIDE_SCALE");
+}
+
+TEST(ParsePositiveDouble, AcceptsCompleteFiniteNumbers)
+{
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "0.15", 1.0), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "2", 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "1e-3", 1.0), 1e-3);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "  0.5", 1.0), 0.5);
+}
+
+TEST(ParsePositiveDouble, UnsetOrEmptyFallsBackSilently)
+{
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", nullptr, 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "", 0.15), 0.15);
+}
+
+TEST(ParsePositiveDouble, RejectsWhatAtofWouldAccept)
+{
+    // Trailing garbage: std::atof would have returned 0.99 here, and
+    // the perf gate would have run with a half-typed tolerance.
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "0.99abc", 0.15), 0.15);
+    // Non-finite spellings: "inf" would have disabled the wall gate.
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "inf", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "-inf", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "nan", 0.15), 0.15);
+}
+
+TEST(ParsePositiveDouble, RejectsNonPositiveAndOutOfRange)
+{
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "0", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "-1", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "1e9999", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "1e-9999", 0.15), 0.15);
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("T", "abc", 0.15), 0.15);
+}
+
+TEST(ParseEnvUnsigned, SharedWorkerKnobParsing)
+{
+    unsigned long v = 99;
+    EXPECT_TRUE(parseEnvUnsigned("T", "4", 256, v));
+    EXPECT_EQ(v, 4u);
+    EXPECT_TRUE(parseEnvUnsigned("T", "0", 256, v)); // 0 is the caller's
+    EXPECT_EQ(v, 0u);                                // sentinel, valid here
+    EXPECT_FALSE(parseEnvUnsigned("T", nullptr, 256, v));
+    EXPECT_FALSE(parseEnvUnsigned("T", "", 256, v));
+    EXPECT_FALSE(parseEnvUnsigned("T", "-2", 256, v));   // strtoul wraps
+    EXPECT_FALSE(parseEnvUnsigned("T", "4abc", 256, v)); // partial parse
+    EXPECT_FALSE(parseEnvUnsigned("T", "257", 256, v));  // over the cap
+    EXPECT_FALSE(parseEnvUnsigned("T", "99999999999999999999", 256, v));
+}
+
+TEST(ParallelForIndex, VisitsEveryIndexExactlyOnce)
+{
+    for (unsigned workers : {0u, 1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(100);
+        for (auto &h : hits)
+            h.store(0);
+        parallelForIndex(hits.size(), workers,
+                         [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelForIndex, ZeroJobsIsANoop)
+{
+    parallelForIndex(0, 4, [&](std::size_t) { FAIL() << "called"; });
+}
+
+TEST(ParallelForIndex, PropagatesCanonicalSmallestIndexError)
+{
+    // Index 6 fails instantly, index 1 fails 100 ms later: the caller
+    // must still see index 1's exception — the one a serial loop would
+    // have produced — not whichever lost the wall-clock race.
+    const auto fn = [](std::size_t i) {
+        if (i == 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            throw std::runtime_error("low");
+        }
+        if (i == 6)
+            throw std::runtime_error("high");
+    };
+    try {
+        parallelForIndex(8, 8, fn);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "low");
+    }
+    try {
+        parallelForIndex(8, 1, fn); // serial reference semantics
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "low");
+    }
+}
+
+TEST(ParallelForIndex, SkipsIndicesPastTheFailure)
+{
+    // Serial semantics: nothing after the first failing index runs.
+    std::vector<int> ran(4, 0);
+    try {
+        parallelForIndex(4, 1, [&](std::size_t i) {
+            ran[i] = 1;
+            if (i == 1)
+                throw std::runtime_error("stop");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(ran[0], 1);
+    EXPECT_EQ(ran[1], 1);
+    EXPECT_EQ(ran[2], 0);
+    EXPECT_EQ(ran[3], 0);
 }
 
 TEST(BenchConfig, Validates)

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/report.hh"
 #include "harness/sweep.hh"
@@ -102,6 +105,56 @@ TEST(SweepGrid, DefaultsToIronhideWithOneOptionSet)
     EXPECT_EQ(jobs[0].arch, ArchKind::IRONHIDE);
     EXPECT_EQ(jobs[0].ihopts.policy, SplitPolicy::HEURISTIC);
     EXPECT_EQ(jobs[0].tag, "");
+}
+
+TEST(SweepGrid, TlbWaysDimensionIsInnermostAndTagged)
+{
+    // smallTest has 8 TLB entries, so 0 (fully associative), 4-way and
+    // 2-way are all legal geometries.
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(SysConfig::smallTest())
+            .app(tiny())
+            .archs({ArchKind::MI6, ArchKind::IRONHIDE})
+            .tlbWays({0, 4})
+            .jobs();
+
+    ASSERT_EQ(jobs.size(), 2u * 2u);
+    EXPECT_EQ(jobs[0].cfg.tlbWays, 0u);
+    EXPECT_EQ(jobs[0].tag, "tlb=fa");
+    EXPECT_EQ(jobs[1].cfg.tlbWays, 4u);
+    EXPECT_EQ(jobs[1].tag, "tlb=4way");
+    EXPECT_EQ(jobs[1].arch, ArchKind::MI6); // innermost of the arch
+    EXPECT_EQ(jobs[2].arch, ArchKind::IRONHIDE);
+
+    // The suffix composes with an options tag.
+    const std::vector<SweepJob> tagged =
+        SweepGrid()
+            .config(SysConfig::smallTest())
+            .app(tiny())
+            .arch(ArchKind::MI6)
+            .options(IronhideOptions{}, "base")
+            .tlbWays({4})
+            .jobs();
+    ASSERT_EQ(tagged.size(), 1u);
+    EXPECT_EQ(tagged[0].tag, "base tlb=4way");
+}
+
+TEST(SweepRunner, TlbWaysDimensionRunsEndToEnd)
+{
+    // The set-associative TLB exercised through a real sweep config:
+    // every geometry cell must complete (and deterministically so —
+    // the jobs run under the standard parallel determinism contract).
+    const std::vector<SweepJob> jobs = SweepGrid()
+                                           .config(SysConfig::smallTest())
+                                           .app(tiny())
+                                           .arch(ArchKind::MI6)
+                                           .tlbWays({0, 4, 2})
+                                           .jobs();
+    const std::vector<ExperimentResult> r = SweepRunner(3).run(jobs);
+    ASSERT_EQ(r.size(), 3u);
+    for (const ExperimentResult &res : r)
+        EXPECT_GT(res.run.completion, 0u);
 }
 
 TEST(SweepRunner, EmptyGridYieldsEmptyResults)
@@ -202,6 +255,38 @@ TEST(SweepRunner, JobExceptionPropagatesToCaller)
     EXPECT_THROW(SweepRunner(2).run(jobs), std::runtime_error);
 }
 
+TEST(SweepRunner, MultiFailurePropagatesCanonicalFirstError)
+{
+    // Two deliberately-throwing jobs under 4 workers: the low-index job
+    // fails *slowly*, the high-index one instantly. The runner used to
+    // keep whichever exception won the wall-clock race (here the
+    // high-index one), so a multi-failure sweep surfaced different
+    // errors run to run; the contract is the canonical first failure —
+    // exactly what a serial loop over the jobs produces.
+    std::vector<SweepJob> jobs(4);
+    for (SweepJob &job : jobs) {
+        job.app = tiny();
+        job.arch = ArchKind::INSECURE;
+        job.cfg = SysConfig::smallTest();
+    }
+    jobs[0].app.make = [](const SysConfig &) -> WorkloadPair {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        throw std::runtime_error("low");
+    };
+    jobs[3].app.make = [](const SysConfig &) -> WorkloadPair {
+        throw std::runtime_error("high");
+    };
+    for (unsigned threads : {4u, 1u}) {
+        try {
+            SweepRunner(threads).run(jobs);
+            FAIL() << "expected a sweep failure at " << threads
+                   << " threads";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "low");
+        }
+    }
+}
+
 TEST(SweepSummary, AggregatesPerArchWithStatGroup)
 {
     const std::vector<SweepJob> jobs = testJobs();
@@ -231,6 +316,42 @@ TEST(SweepSummary, AggregatesPerArchWithStatGroup)
     EXPECT_DOUBLE_EQ(sp, s.byArch[2].geomeanCompletionMs /
                              s.byArch[0].geomeanCompletionMs);
     EXPECT_EQ(s.speedup("insecure", "absent"), 0.0);
+}
+
+TEST(SweepSummary, EmptyResultsStayFinite)
+{
+    // No completed jobs at all: the summary must come back empty and
+    // render to JSON without dividing by zero or emitting NaN.
+    const SweepSummary s = summarize({});
+    EXPECT_TRUE(s.byArch.empty());
+    EXPECT_EQ(s.find("ironhide"), nullptr);
+    EXPECT_EQ(s.speedup("IRONHIDE", "MI6"), 0.0);
+    const std::string json = sweepToJson("empty", {}, {}, s);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(SweepSummary, ZeroValuedResultsStayFinite)
+{
+    // A degenerate cell — zero completion (empty timed region) and
+    // zero miss rates — must not poison the per-arch geomeans:
+    // unclamped, log(0) would have taken the whole bucket down (the
+    // completion clamp is new; the rate clamp predates it).
+    ExperimentResult r;
+    r.app = "degenerate";
+    r.arch = "ironhide";
+    const SweepSummary s = summarize({r, r});
+    ASSERT_EQ(s.byArch.size(), 1u);
+    EXPECT_TRUE(std::isfinite(s.byArch[0].geomeanCompletionMs));
+    EXPECT_GT(s.byArch[0].geomeanCompletionMs, 0.0);
+    EXPECT_TRUE(std::isfinite(s.byArch[0].geomeanL1MissRate));
+    EXPECT_TRUE(std::isfinite(s.byArch[0].meanSecureCores));
+
+    const std::string json =
+        sweepToJson("degenerate", std::vector<SweepJob>(2),
+                    {r, r}, s);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
 }
 
 TEST(JsonWriter, WritesNestedDocuments)
