@@ -36,6 +36,14 @@
  *   - the determinism checksum differs (a stats-purity break, gated
  *     with zero tolerance).
  *
+ * `--no-slower-than <path>` gates against a *sibling* report from the
+ * same machine and commit instead of the committed baseline: this run's
+ * wall_ms_best must not exceed the sibling's by more than the same
+ * tolerance. CI uses it to require the IRONHIDE_DOMAINS=4 leg to be no
+ * slower than the serial leg it just ran — a same-runner comparison,
+ * so it needs no cross-machine baseline and no inflated tolerance.
+ * Composes with --baseline (the checksum gate still comes from there).
+ *
  * Knobs: IRONHIDE_PERF_SCALE (default 0.1), IRONHIDE_PERF_REPEATS
  * (default 1, best-of-N), IRONHIDE_THREADS (default 1 — single-run
  * speed is the quantity under test), IRONHIDE_PERF_TOLERANCE (gate
@@ -93,13 +101,13 @@ envTolerance()
 }
 
 const char *
-baselinePath(int argc, char **argv)
+flagPath(int argc, char **argv, const char *flag)
 {
     const char *path = nullptr;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--baseline") == 0) {
+        if (std::strcmp(argv[i], flag) == 0) {
             if (i + 1 >= argc)
-                fatal("--baseline requires a file argument");
+                fatal("%s requires a file argument", flag);
             path = argv[i + 1];
         }
     }
@@ -108,7 +116,7 @@ baselinePath(int argc, char **argv)
         // not after minutes of runs (mirrors jsonReportPath).
         std::FILE *f = std::fopen(path, "rb");
         if (!f)
-            fatal("cannot open baseline '%s' for reading", path);
+            fatal("cannot open %s file '%s' for reading", flag, path);
         std::fclose(f);
     }
     return path;
@@ -199,13 +207,44 @@ gateAgainstBaseline(const char *path, unsigned domains,
     return rc;
 }
 
+/**
+ * The sibling gate (--no-slower-than): this run must not be slower
+ * than the referenced same-machine report by more than the tolerance.
+ * @return process exit code (0 pass, 1 fail).
+ */
+int
+gateAgainstSibling(const char *path, double wall_ms_best)
+{
+    const std::string sibling = readTextFile(path);
+    double sibling_wall = 0.0;
+    if (!jsonNumberField(sibling, "wall_ms_best", sibling_wall) ||
+        sibling_wall <= 0.0) {
+        fatal("sibling report '%s' has no usable wall_ms_best", path);
+    }
+    const double tolerance = envTolerance();
+    const double limit = sibling_wall * (1.0 + tolerance);
+    const int rc = wall_ms_best > limit ? 1 : 0;
+    if (rc != 0) {
+        warn("perf gate: wall_ms_best %.1f exceeds %.1f (sibling %.1f "
+             "+%.0f%%) — this configuration is slower than the sibling "
+             "leg on the same machine",
+             wall_ms_best, limit, sibling_wall, tolerance * 100.0);
+    }
+    std::printf("sibling gate: %s (wall_ms_best %.1f vs sibling %.1f, "
+                "limit %.1f)\n",
+                rc == 0 ? "pass" : "FAIL", wall_ms_best, sibling_wall,
+                limit);
+    return rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const char *json_path = jsonReportPath(argc, argv);
-    const char *baseline_path = baselinePath(argc, argv);
+    const char *baseline_path = flagPath(argc, argv, "--baseline");
+    const char *sibling_path = flagPath(argc, argv, "--no-slower-than");
     printBanner("perf_smoke",
                 "Times a fixed mini-sweep (fig6 grid, reduced scale) and "
                 "reports\nhost wall-clock speed plus a determinism "
@@ -305,8 +344,11 @@ main(int argc, char **argv)
         writeTextFile(json_path, w.str() + "\n");
         inform("wrote perf report: %s", json_path);
     }
+    int rc = 0;
     if (baseline_path)
-        return gateAgainstBaseline(baseline_path, domains, wall_ms_best,
-                                   completion_total);
-    return 0;
+        rc |= gateAgainstBaseline(baseline_path, domains, wall_ms_best,
+                                  completion_total);
+    if (sibling_path)
+        rc |= gateAgainstSibling(sibling_path, wall_ms_best);
+    return rc;
 }

@@ -12,18 +12,25 @@
  * Our machine and inputs are scaled ~10x down, so absolute rates are
  * proportionally higher and purge costs proportionally lower; the
  * user-vs-OS contrast (orders of magnitude) is the reproduced shape.
+ *
+ * The (app x {baseline, MI6, IRONHIDE}) grid fans out over the
+ * SweepRunner pool (IRONHIDE_THREADS) like every figure bench, and
+ * `--json <path>` writes the standard sweep report.
  */
 
+#include <cstdio>
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace ih;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
     printBanner("Interactivity & purge-cost table (prose, §IV-B/§V-B)",
                 "Measured interactivity rates and per-event transition "
                 "costs.");
@@ -31,17 +38,26 @@ main()
     const SysConfig cfg = benchConfig();
     const std::vector<AppSpec> apps = standardApps(benchScale());
 
+    // App-major, then arch — each app's three runs sit at
+    // results[app*3 + {0,1,2}] = {baseline, MI6, IRONHIDE}.
+    const std::vector<SweepJob> jobs =
+        SweepGrid()
+            .config(cfg)
+            .apps(apps)
+            .archs({ArchKind::INSECURE, ArchKind::MI6, ArchKind::IRONHIDE})
+            .jobs();
+    const std::vector<ExperimentResult> results =
+        SweepRunner(sweepThreads()).run(jobs);
+
     Table table({"application", "class", "baseline events/s",
                  "MI6 purge/event(us)", "IRONHIDE one-time(ms)"});
 
     std::vector<double> user_rate, os_rate, purge_per_event;
-    for (const AppSpec &app : apps) {
-        const ExperimentResult base =
-            runExperiment(app, ArchKind::INSECURE, cfg);
-        const ExperimentResult mi6 = runExperiment(app, ArchKind::MI6,
-                                                   cfg);
-        const ExperimentResult ih =
-            runExperiment(app, ArchKind::IRONHIDE, cfg);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppSpec &app = apps[i];
+        const ExperimentResult &base = results[i * 3 + 0];
+        const ExperimentResult &mi6 = results[i * 3 + 1];
+        const ExperimentResult &ih = results[i * 3 + 2];
 
         const double per_event =
             mi6.run.transitions
@@ -71,5 +87,7 @@ main()
     std::printf("SGX entry/exit constant: %.1f us per event (paper: "
                 "2.5-5 us, modelled at 5 us)\n",
                 cyclesToUs(cfg.sgxEnterExitCycles));
+
+    maybeWriteJsonReport(argc, argv, "tab_interactivity", jobs, results);
     return 0;
 }

@@ -39,6 +39,10 @@ class MulticoreMi6 : public SecurityModel
     Cycle enclaveEnter(Process &proc, Cycle t) override;
     Cycle enclaveExit(Process &proc, Cycle t) override;
 
+    /** The full entry/exit purge makes secure execution exclusive: no
+     *  insecure observer runs concurrently with the enclave. */
+    bool exclusiveSecureExecution() const override { return true; }
+
     SecureKernel &kernel() { return kernel_; }
     const RegionOwnership &regions() const { return regions_; }
 

@@ -88,6 +88,15 @@ class SecurityModel
      */
     virtual bool spatial() const { return false; }
 
+    /**
+     * True for architectures whose entry/exit protocol suspends the
+     * insecure side while a secure process runs (MI6's purge-bracketed
+     * time sharing). Attack scenarios use this to decide whether an
+     * attacker may probe *concurrently* with the victim or only before
+     * entry / after exit.
+     */
+    virtual bool exclusiveSecureExecution() const { return false; }
+
     /** Cores currently assigned to the secure side (0 = time-shared). */
     virtual unsigned secureCoreCount() const { return 0; }
 

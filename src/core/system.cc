@@ -10,6 +10,9 @@ System::System(const SysConfig &cfg)
       engine_(cfg_, mem_)
 {
     cfg_.validate();
+    // Every blocked access on this machine lands in the security audit
+    // log (the MemorySystem stays standalone-drivable without one).
+    mem_.setAuditLog(&audit_);
 }
 
 Process &

@@ -70,6 +70,13 @@ SweepGrid::tlbWays(std::initializer_list<unsigned> ways)
     return *this;
 }
 
+SweepGrid &
+SweepGrid::tlbEntries(std::initializer_list<unsigned> entries)
+{
+    tlbEntries_.insert(tlbEntries_.end(), entries.begin(), entries.end());
+    return *this;
+}
+
 std::vector<SweepJob>
 SweepGrid::jobs() const
 {
@@ -86,15 +93,22 @@ SweepGrid::jobs() const
                   {IronhideOptions{}, ""}}
             : opts_;
 
-    // The TLB dimension is expressed as (ways override, tag suffix)
-    // pairs; "no dimension" is a single pass-through of the base
-    // config so the loop below stays regular.
+    // Each TLB-geometry dimension is expressed as (override, tag
+    // suffix) pairs; "no dimension" is a single pass-through of the
+    // base config so the loops below stay regular.
     struct TlbVariant
     {
         bool override_ = false;
-        unsigned ways = 0;
+        unsigned value = 0;
         std::string tag;
     };
+    std::vector<TlbVariant> sizes;
+    if (tlbEntries_.empty()) {
+        sizes.push_back({});
+    } else {
+        for (unsigned e : tlbEntries_)
+            sizes.push_back({true, e, strprintf("tlbe=%u", e)});
+    }
     std::vector<TlbVariant> tlbs;
     if (tlbWays_.empty()) {
         tlbs.push_back({});
@@ -102,32 +116,42 @@ SweepGrid::jobs() const
         for (unsigned w : tlbWays_) {
             TlbVariant v;
             v.override_ = true;
-            v.ways = w;
+            v.value = w;
             v.tag = w == 0 ? "tlb=fa" : strprintf("tlb=%uway", w);
             tlbs.push_back(std::move(v));
         }
     }
 
+    const auto appendTag = [](std::string &tag, const std::string &sfx) {
+        tag = tag.empty() ? sfx : tag + " " + sfx;
+    };
+
     std::vector<SweepJob> out;
-    out.reserve(apps_.size() * archs.size() * opts.size() * tlbs.size());
+    out.reserve(apps_.size() * archs.size() * opts.size() * sizes.size() *
+                tlbs.size());
     for (const AppSpec &app : apps_) {
         for (const ArchKind kind : archs) {
             for (const auto &[ihopts, tag] : opts) {
-                for (const TlbVariant &tlb : tlbs) {
-                    SweepJob job;
-                    job.app = app;
-                    job.arch = kind;
-                    job.cfg = cfg;
-                    job.ihopts = ihopts;
-                    job.tag = tag;
-                    if (tlb.override_) {
-                        job.cfg.tlbWays = tlb.ways;
-                        job.cfg.validate();
-                        job.tag = job.tag.empty()
-                                      ? tlb.tag
-                                      : job.tag + " " + tlb.tag;
+                for (const TlbVariant &size : sizes) {
+                    for (const TlbVariant &tlb : tlbs) {
+                        SweepJob job;
+                        job.app = app;
+                        job.arch = kind;
+                        job.cfg = cfg;
+                        job.ihopts = ihopts;
+                        job.tag = tag;
+                        if (size.override_) {
+                            job.cfg.tlbEntries = size.value;
+                            appendTag(job.tag, size.tag);
+                        }
+                        if (tlb.override_) {
+                            job.cfg.tlbWays = tlb.value;
+                            appendTag(job.tag, tlb.tag);
+                        }
+                        if (size.override_ || tlb.override_)
+                            job.cfg.validate();
+                        out.push_back(std::move(job));
                     }
-                    out.push_back(std::move(job));
                 }
             }
         }

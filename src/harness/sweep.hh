@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "sim/stats.hh"
 
 namespace ih
@@ -69,10 +70,21 @@ class SweepGrid
     SweepGrid &tlbWays(std::initializer_list<unsigned> ways);
 
     /**
+     * TLB-size dimension: one job per entry count in @p entries,
+     * overriding cfg.tlbEntries per job and suffixing the tag with
+     * "tlbe=<N>". Sits outside the ways dimension in the enumeration
+     * (each size expands into every associativity), so a grid with both
+     * axes groups the fully-associative reference next to its same-size
+     * set-associative variants. Never populated = the base config's
+     * size (no tag suffix).
+     */
+    SweepGrid &tlbEntries(std::initializer_list<unsigned> entries);
+
+    /**
      * Enumerate the grid app-major, then arch, then options, then TLB
-     * geometry (innermost) — the canonical job order every report
-     * uses. Defaults apply when a dimension was never populated: arch
-     * IRONHIDE, one default IronhideOptions, the default-validated
+     * size, then TLB ways (innermost) — the canonical job order every
+     * report uses. Defaults apply when a dimension was never populated:
+     * arch IRONHIDE, one default IronhideOptions, the default-validated
      * SysConfig, the base config's TLB geometry.
      */
     std::vector<SweepJob> jobs() const;
@@ -83,6 +95,7 @@ class SweepGrid
     std::vector<AppSpec> apps_;
     std::vector<ArchKind> archs_;
     std::vector<std::pair<IronhideOptions, std::string>> opts_;
+    std::vector<unsigned> tlbEntries_;
     std::vector<unsigned> tlbWays_;
 };
 
@@ -119,6 +132,23 @@ class SweepRunner
     std::vector<ExperimentResult>
     run(const std::vector<SweepJob> &jobs,
         const Progress &progress = nullptr) const;
+
+    /**
+     * Generic indexed fan-out under the same determinism contract as
+     * run(): evaluate fn(0..n-1) over the worker pool, results land in
+     * index order, and a multi-failure run rethrows the error of the
+     * smallest failing index. For job grids that are not
+     * runExperiment() cells (e.g. the attack-scenario grid).
+     */
+    template <typename R>
+    std::vector<R>
+    map(std::size_t n, const std::function<R(std::size_t)> &fn) const
+    {
+        std::vector<R> out(n);
+        parallelForIndex(n, threads_,
+                         [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
 
   private:
     unsigned threads_;

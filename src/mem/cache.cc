@@ -146,6 +146,15 @@ Cache::validLinesOf(Domain domain) const
     return n;
 }
 
+unsigned
+Cache::validLinesOfProc(ProcId proc) const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        n += (line.valid && line.ownerProc == proc) ? 1 : 0;
+    return n;
+}
+
 void
 Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
 {

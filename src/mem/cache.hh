@@ -166,6 +166,14 @@ class Cache
     /** Count valid lines owned by @p domain. */
     unsigned validLinesOf(Domain domain) const;
 
+    /**
+     * Count valid lines owned by process @p proc. Read-only observation
+     * hook (no stats, no LRU movement): this is the occupancy census a
+     * prime+probe attacker takes of its own resident lines, so it must
+     * not perturb the state it observes.
+     */
+    unsigned validLinesOfProc(ProcId proc) const;
+
     /** Visit every valid line (mutable access, for remapping). */
     void forEachLine(const std::function<void(CacheLine &)> &fn);
 

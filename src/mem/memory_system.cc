@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit_log.hh"
 #include "mem/directory.hh"
 #include "sim/log.hh"
 
@@ -201,12 +202,18 @@ MemorySystem::accessSlow(CoreId core, AddressSpace &space,
     // region of the physical address to be known. Pinned by the
     // blocked-then-allowed test in tests/test_mem_system.cc.
     if (!checker_.allows(space.domain(), regionOf(pa)))
-        return blockedResult(tlb_hit, t);
+        return blockedResult(proc, tlb_hit, t);
     if (!te)
         tlbs_[core]->insert(va, info.ppage, proc, space.domain());
     noteHome(space, info);
 
     return accessL1(core, space, info, pa, op, t, cluster, tlb_hit);
+}
+
+void
+MemorySystem::noteBlocked(ProcId proc, Cycle t)
+{
+    audit_->record(AuditKind::ACCESS_BLOCKED, t, proc);
 }
 
 AccessResult
@@ -317,6 +324,8 @@ MemorySystem::accessReference(CoreId core, AddressSpace &space, VAddr va,
     const RegionId region = regionOf(pa);
     if (!checker_.allows(space.domain(), region)) {
         statBlockedAccesses_.inc();
+        if (audit_)
+            noteBlocked(proc, t);
         res.blocked = true;
         // The request stalls until resolution and is then discarded; the
         // protection fault costs a pipeline-flush-like penalty.

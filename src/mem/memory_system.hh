@@ -40,6 +40,8 @@
 namespace ih
 {
 
+class AuditLog;
+
 /** Outcome of one memory access, for stats and tests. */
 struct AccessResult
 {
@@ -165,7 +167,7 @@ class MemorySystem
         const Addr pa =
             info.ppage + (va & static_cast<VAddr>(cfg_.pageBytes - 1));
         if (!checker_.allows(space.domain(), regionOf(pa)))
-            return blockedResult(/*tlb_hit=*/true, when);
+            return blockedResult(space.proc(), /*tlb_hit=*/true, when);
         noteHome(space, info);
         return accessL1(core, space, info, pa, op, when, cluster,
                         /*tlb_hit=*/true);
@@ -193,6 +195,15 @@ class MemorySystem
     {
         checker_ = std::move(check);
     }
+
+    /**
+     * Attach the security audit log (or detach with nullptr). Once
+     * attached, every access rejected by the region check is counted as
+     * an ACCESS_BLOCKED audit event — the *only* architecturally
+     * visible trace a blocked probe may leave. The MemorySystem can be
+     * driven standalone (stats-parity, unit rigs) with no log attached.
+     */
+    void setAuditLog(AuditLog *audit) { audit_ = audit; }
 
     /**
      * Install (or clear, with nullptr) a custom per-access checker.
@@ -315,15 +326,21 @@ class MemorySystem
      * (see accessSlow()).
      */
     AccessResult
-    blockedResult(bool tlb_hit, Cycle t)
+    blockedResult(ProcId proc, bool tlb_hit, Cycle t)
     {
         statBlockedAccesses_.inc();
+        if (audit_)
+            noteBlocked(proc, t);
         AccessResult res;
         res.tlbHit = tlb_hit;
         res.blocked = true;
         res.finish = t + cfg_.pipelineFlushCycles;
         return res;
     }
+
+    /** Out-of-line ACCESS_BLOCKED audit record (AuditLog is only
+     *  forward-declared here). */
+    void noteBlocked(ProcId proc, Cycle t);
 
     /** Handle an L1 store hit on a non-writable (shared) line. */
     Cycle upgradeLine(CoreId core, Addr line_pa, CoreId home, Cycle when,
@@ -415,6 +432,7 @@ class MemorySystem
     unsigned pageShift_ = 0; ///< log2(cfg.pageBytes)
     std::vector<CoreId> allSlices_;
     RegionCheck checker_;
+    AuditLog *audit_ = nullptr;
     StatGroup stats_;
     unsigned dataFlits_;
     // Per-access counters bound once (StatGroup references are stable),
