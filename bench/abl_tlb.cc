@@ -30,13 +30,6 @@ using namespace ih;
 int
 main(int argc, char **argv)
 {
-    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
-    printBanner("Ablation — TLB geometry",
-                "Completion and miss rates over TLB size (16/32/64 "
-                "entries) x associativity\n(fully-associative vs 8-way vs "
-                "4-way): does realistic TLB hardware change\nthe paper's "
-                "story?");
-
     const SysConfig cfg = benchConfig();
     const double scale = benchScale() * 0.5;
     // One app per working-set flavour: graph (pointer-chasing, many
@@ -57,8 +50,24 @@ main(int argc, char **argv)
             .tlbWays({0, 8, 4})
             .jobs();
 
-    const std::vector<ExperimentResult> results =
-        SweepRunner(sweepThreads()).run(jobs);
+    const int merged = maybeMergeShardReports(argc, argv, "abl_tlb", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Ablation — TLB geometry",
+                "Completion and miss rates over TLB size (16/32/64 "
+                "entries) x associativity\n(fully-associative vs 8-way vs "
+                "4-way): does realistic TLB hardware change\nthe paper's "
+                "story?");
+
+    const SweepOutcome out = runBenchSweep(argc, argv, "abl_tlb", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The geometry groups and headline deltas below need every
+        // cell; a partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "abl_tlb", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
 
     constexpr std::size_t WAYS = 3;          // geometries per size
     constexpr std::size_t GROUP = 3 * WAYS;  // rows per (app, arch)
@@ -108,6 +117,6 @@ main(int argc, char **argv)
                 "(fully-associative): %.2f%%\n",
                 worst_assoc * 100.0, worst_size * 100.0);
 
-    maybeWriteJsonReport(argc, argv, "abl_tlb", jobs, results);
-    return 0;
+    maybeWriteJsonReport(argc, argv, "abl_tlb", jobs, out);
+    return out.exitCode();
 }

@@ -25,13 +25,6 @@ using namespace ih;
 int
 main(int argc, char **argv)
 {
-    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
-    printBanner("Figure 6",
-                "Completion time (ms, simulated) per interactive "
-                "application,\nbroken into compute and "
-                "transition/purge/reconfig overheads.\nMarkers: secure-"
-                "cluster core count chosen by the predictor.");
-
     const std::vector<AppSpec> apps = standardApps(benchScale());
 
     // One job per (app, arch) cell, enumerated app-major so the rows
@@ -43,8 +36,27 @@ main(int argc, char **argv)
             .apps(apps)
             .archs({ArchKind::SGX_LIKE, ArchKind::MI6, ArchKind::IRONHIDE})
             .jobs();
-    const std::vector<ExperimentResult> results =
-        SweepRunner(sweepThreads()).run(jobs);
+
+    const int merged =
+        maybeMergeShardReports(argc, argv, "fig6_completion", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Figure 6",
+                "Completion time (ms, simulated) per interactive "
+                "application,\nbroken into compute and "
+                "transition/purge/reconfig overheads.\nMarkers: secure-"
+                "cluster core count chosen by the predictor.");
+
+    const SweepOutcome out =
+        runBenchSweep(argc, argv, "fig6_completion", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The per-app/arch tables below assume every cell of the grid;
+        // a partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "fig6_completion", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
 
     Table table({"application", "arch", "total(ms)", "compute(ms)",
                  "overhead(ms)", "ovh%", "secure cores"});
@@ -116,6 +128,6 @@ main(int argc, char **argv)
                 "(geomean ratio): %.0fx  (paper: ~706x)\n",
                 geomean(all.purge_ratio));
 
-    maybeWriteJsonReport(argc, argv, "fig6_completion", jobs, results);
-    return 0;
+    maybeWriteJsonReport(argc, argv, "fig6_completion", jobs, out);
+    return out.exitCode();
 }

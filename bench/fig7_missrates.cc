@@ -21,13 +21,6 @@ using namespace ih;
 int
 main(int argc, char **argv)
 {
-    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
-    printBanner("Figure 7",
-                "Private L1 (a) and shared L2 (b) miss rates, MI6 vs "
-                "IRONHIDE.\nPaper: L1 improves up to ~5.9x under "
-                "IRONHIDE; L2 up to ~2x, with\n<TC, GRAPH> and "
-                "<LIGHTTPD, OS> as exceptions.");
-
     const std::vector<AppSpec> apps = standardApps(benchScale());
 
     const std::vector<SweepJob> jobs =
@@ -36,8 +29,27 @@ main(int argc, char **argv)
             .apps(apps)
             .archs({ArchKind::MI6, ArchKind::IRONHIDE})
             .jobs();
-    const std::vector<ExperimentResult> results =
-        SweepRunner(sweepThreads()).run(jobs);
+
+    const int merged =
+        maybeMergeShardReports(argc, argv, "fig7_missrates", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Figure 7",
+                "Private L1 (a) and shared L2 (b) miss rates, MI6 vs "
+                "IRONHIDE.\nPaper: L1 improves up to ~5.9x under "
+                "IRONHIDE; L2 up to ~2x, with\n<TC, GRAPH> and "
+                "<LIGHTTPD, OS> as exceptions.");
+
+    const SweepOutcome out =
+        runBenchSweep(argc, argv, "fig7_missrates", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The paired MI6/IRONHIDE rows below need every cell; a
+        // partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "fig7_missrates", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
 
     Table table({"application", "L1 MI6", "L1 IRONHIDE", "L1 gain",
                  "L2 MI6", "L2 IRONHIDE", "L2 gain"});
@@ -68,6 +80,6 @@ main(int argc, char **argv)
                   Table::num(geomean(l2_mi6) / geomean(l2_ih)) + "x"});
     table.print();
 
-    maybeWriteJsonReport(argc, argv, "fig7_missrates", jobs, results);
-    return 0;
+    maybeWriteJsonReport(argc, argv, "fig7_missrates", jobs, out);
+    return out.exitCode();
 }

@@ -30,11 +30,6 @@ using namespace ih;
 int
 main(int argc, char **argv)
 {
-    jsonReportPath(argc, argv); // diagnose a bad --json before sweeping
-    printBanner("Interactivity & purge-cost table (prose, §IV-B/§V-B)",
-                "Measured interactivity rates and per-event transition "
-                "costs.");
-
     const SysConfig cfg = benchConfig();
     const std::vector<AppSpec> apps = standardApps(benchScale());
 
@@ -46,8 +41,25 @@ main(int argc, char **argv)
             .apps(apps)
             .archs({ArchKind::INSECURE, ArchKind::MI6, ArchKind::IRONHIDE})
             .jobs();
-    const std::vector<ExperimentResult> results =
-        SweepRunner(sweepThreads()).run(jobs);
+
+    const int merged =
+        maybeMergeShardReports(argc, argv, "tab_interactivity", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Interactivity & purge-cost table (prose, §IV-B/§V-B)",
+                "Measured interactivity rates and per-event transition "
+                "costs.");
+
+    const SweepOutcome out =
+        runBenchSweep(argc, argv, "tab_interactivity", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The per-app baseline/MI6/IRONHIDE triples below need every
+        // cell; a partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "tab_interactivity", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
 
     Table table({"application", "class", "baseline events/s",
                  "MI6 purge/event(us)", "IRONHIDE one-time(ms)"});
@@ -88,6 +100,6 @@ main(int argc, char **argv)
                 "2.5-5 us, modelled at 5 us)\n",
                 cyclesToUs(cfg.sgxEnterExitCycles));
 
-    maybeWriteJsonReport(argc, argv, "tab_interactivity", jobs, results);
-    return 0;
+    maybeWriteJsonReport(argc, argv, "tab_interactivity", jobs, out);
+    return out.exitCode();
 }

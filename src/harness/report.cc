@@ -5,6 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
 
 #include "sim/log.hh"
 
@@ -277,16 +281,67 @@ parseEnvUnsigned(const char *name, const char *value,
     return true;
 }
 
+bool
+parseShardSpec(const char *name, const char *value,
+               unsigned long max_count, unsigned long &index,
+               unsigned long &count)
+{
+    if (!value || !*value)
+        return false;
+    // Both halves follow the parseEnvUnsigned rules (complete decimal,
+    // no sign, no trailing garbage), with the shard-specific shape and
+    // range constraints on top: exactly one '/', count in
+    // [1, max_count], index < count. A typo here must never silently
+    // run the wrong slice of a grid.
+    const char *slash = std::strchr(value, '/');
+    // Both halves must *start* with a digit: strtoul alone would also
+    // take leading whitespace and '+'/'-' signs.
+    if (slash && slash != value && *(slash + 1) != '\0' &&
+        std::isdigit(static_cast<unsigned char>(value[0])) &&
+        std::isdigit(static_cast<unsigned char>(*(slash + 1)))) {
+        char *end = nullptr;
+        const unsigned long i = std::strtoul(value, &end, 10);
+        if (end == slash) {
+            const unsigned long n = std::strtoul(slash + 1, &end, 10);
+            if (*end == '\0' && n >= 1 && n <= max_count && i < n) {
+                index = i;
+                count = n;
+                return true;
+            }
+        }
+    }
+    warn("ignoring invalid %s='%s' (want \"<i>/<N>\" with i < N)", name,
+         value);
+    return false;
+}
+
 void
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write-temp + fsync + rename: a crash (or kill) at any point
+    // leaves either the previous complete file or the new complete
+    // file at @p path, never a truncated hybrid. The temp file lives
+    // in the same directory so the rename is atomic.
+    const std::string tmp =
+        path + strprintf(".tmp.%ld", static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
+        fatal("cannot open '%s' for writing", tmp.c_str());
     const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-    if (written != text.size() || std::fclose(f) != 0)
-        fatal("short write to '%s' (%zu of %zu bytes)", path.c_str(),
+    if (written != text.size() || std::fflush(f) != 0) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        fatal("short write to '%s' (%zu of %zu bytes)", tmp.c_str(),
               written, text.size());
+    }
+    if (::fsync(::fileno(f)) != 0 || std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot sync '%s'", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '%s' to '%s'", tmp.c_str(), path.c_str());
+    }
 }
 
 std::string
@@ -315,22 +370,22 @@ isJsonWs(char c)
     return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
-} // namespace
-
-bool
-jsonNumberField(const std::string &json, const std::string &key,
-                double &out)
+/**
+ * Find the next *key position* of @p key at or after @p from: the
+ * quoted key preceded (modulo whitespace) by '{' or ',' and followed
+ * (modulo whitespace) by exactly one ':'. Returns the index of the
+ * first value character (past the colon and whitespace), or npos. A
+ * bare substring match would also hit the key's text inside a string
+ * value (where it is preceded by ':' or '\\') or a same-named key in
+ * another position — the perf gate and the shard-merge path must
+ * never pull the wrong field out of a report.
+ */
+std::size_t
+jsonKeyValuePos(const std::string &json, const std::string &key,
+                std::size_t from)
 {
-    // Only a real *key position* may match: the quoted key must be
-    // preceded (modulo whitespace) by '{' or ',' and followed (modulo
-    // whitespace) by exactly one ':' and a number. A bare substring
-    // match would also hit the key's text inside a string value (where
-    // it is preceded by ':' or '\\') or a same-named key bound to a
-    // non-number, and a greedy colon/whitespace skip would then read
-    // whatever number happens to come next — the perf gate must never
-    // pull the wrong field out of perf_baseline.json.
     const std::string needle = "\"" + key + "\"";
-    std::size_t pos = 0;
+    std::size_t pos = from;
     while ((pos = json.find(needle, pos)) != std::string::npos) {
         const std::size_t at = pos;
         pos += 1; // resume the search inside this occurrence on reject
@@ -351,15 +406,163 @@ jsonNumberField(const std::string &json, const std::string &key,
             ++p;
         if (p >= json.size() || json[p] == ':')
             continue;
+        return p;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+bool
+jsonNumberField(const std::string &json, const std::string &key,
+                double &out)
+{
+    std::size_t p = 0;
+    while ((p = jsonKeyValuePos(json, key, p)) != std::string::npos) {
         const char *start = json.c_str() + p;
         char *end = nullptr;
         const double v = std::strtod(start, &end);
-        if (end == start)
+        if (end == start) {
+            ++p;
             continue;
+        }
         out = v;
         return true;
     }
     return false;
+}
+
+bool
+jsonUnsignedField(const std::string &json, const std::string &key,
+                  std::uint64_t &out)
+{
+    std::size_t p = 0;
+    while ((p = jsonKeyValuePos(json, key, p)) != std::string::npos) {
+        // Bare decimal digits only: signs, fractions and exponents are
+        // not integers, and strtoull's silent negative wrap must never
+        // fabricate a huge counter value.
+        if (!std::isdigit(static_cast<unsigned char>(json[p]))) {
+            ++p;
+            continue;
+        }
+        const char *start = json.c_str() + p;
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long v = std::strtoull(start, &end, 10);
+        if (end == start || errno == ERANGE ||
+            (*end == '.' || *end == 'e' || *end == 'E')) {
+            ++p;
+            continue;
+        }
+        out = v;
+        return true;
+    }
+    return false;
+}
+
+bool
+jsonStringField(const std::string &json, const std::string &key,
+                std::string &out)
+{
+    std::size_t p = 0;
+    while ((p = jsonKeyValuePos(json, key, p)) != std::string::npos) {
+        if (json[p] != '"') {
+            ++p;
+            continue;
+        }
+        // Unescape the exact inverse of JsonWriter::escape.
+        std::string v;
+        for (std::size_t i = p + 1; i < json.size(); ++i) {
+            const char c = json[i];
+            if (c == '"') {
+                out = std::move(v);
+                return true;
+            }
+            if (c != '\\') {
+                v += c;
+                continue;
+            }
+            if (++i >= json.size())
+                break; // unterminated escape: reject this occurrence
+            switch (json[i]) {
+              case '"':
+                v += '"';
+                break;
+              case '\\':
+                v += '\\';
+                break;
+              case 'n':
+                v += '\n';
+                break;
+              case 't':
+                v += '\t';
+                break;
+              case 'r':
+                v += '\r';
+                break;
+              case 'u':
+                if (i + 4 < json.size()) {
+                    v += static_cast<char>(
+                        std::strtoul(json.substr(i + 1, 4).c_str(),
+                                     nullptr, 16));
+                    i += 4;
+                }
+                break;
+              default:
+                v += json[i];
+            }
+        }
+        ++p; // unterminated string: resume scanning
+    }
+    return false;
+}
+
+std::vector<std::string>
+jsonArrayObjects(const std::string &json, const std::string &key)
+{
+    const std::size_t p = jsonKeyValuePos(json, key, 0);
+    if (p == std::string::npos || json[p] != '[')
+        throw std::runtime_error("no \"" + key + "\" array in document");
+
+    std::vector<std::string> out;
+    std::size_t i = p + 1;
+    while (i < json.size()) {
+        while (i < json.size() &&
+               (isJsonWs(json[i]) || json[i] == ','))
+            ++i;
+        if (i < json.size() && json[i] == ']')
+            return out;
+        if (i >= json.size() || json[i] != '{')
+            break;
+        // Balanced-brace scan, skipping quoted strings (and their
+        // escapes) so data bytes cannot masquerade as structure.
+        const std::size_t start = i;
+        int depth = 0;
+        bool in_string = false;
+        for (; i < json.size(); ++i) {
+            const char c = json[i];
+            if (in_string) {
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    in_string = false;
+                continue;
+            }
+            if (c == '"') {
+                in_string = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                if (--depth == 0) {
+                    out.push_back(json.substr(start, ++i - start));
+                    break;
+                }
+            }
+        }
+        if (depth != 0)
+            break;
+    }
+    throw std::runtime_error("malformed \"" + key + "\" array");
 }
 
 } // namespace ih

@@ -108,7 +108,26 @@ double envPositiveDouble(const char *name, double fallback);
 bool parseEnvUnsigned(const char *name, const char *value,
                       unsigned long max_value, unsigned long &out);
 
-/** Write @p text to @p path, fatal() on failure. */
+/**
+ * Strictly-validated "index/count" shard-spec parsing for
+ * IRONHIDE_SHARD. Accepts only "<i>/<N>" where both halves are
+ * complete decimal numbers (no sign, no trailing garbage), N is in
+ * [1, @p max_count] and i < N — "2/", "/3", "1/0" and "3/2" are all
+ * rejected. On success sets @p index / @p count and returns true;
+ * anything else warns (naming @p name) and returns false, except a
+ * null/empty @p value, which fails silently (unset knob).
+ */
+bool parseShardSpec(const char *name, const char *value,
+                    unsigned long max_count, unsigned long &index,
+                    unsigned long &count);
+
+/**
+ * Write @p text to @p path atomically, fatal() on failure: the bytes
+ * go to a same-directory temp file which is fsynced and then renamed
+ * over @p path, so a reader (resume, merge, the CI perf gate) can
+ * never observe a truncated report — it sees either the old complete
+ * file or the new complete file.
+ */
 void writeTextFile(const std::string &path, const std::string &text);
 
 /** Read the whole file at @p path, fatal() on failure. */
@@ -126,6 +145,36 @@ std::string readTextFile(const std::string &path);
  */
 bool jsonNumberField(const std::string &json, const std::string &key,
                      double &out);
+
+/**
+ * jsonNumberField's exact-integer sibling: extract the unsigned
+ * integer under @p key without the 2^53 precision loss a double
+ * round-trip would introduce (cycle counters are full uint64). The
+ * value must be a bare decimal integer — a sign, fraction or exponent
+ * never matches.
+ */
+bool jsonUnsignedField(const std::string &json, const std::string &key,
+                       std::uint64_t &out);
+
+/**
+ * Extract (and unescape) the string bound to @p key under the same
+ * key-position rules as jsonNumberField. Like its siblings this is a
+ * read-back helper for reports JsonWriter produced, not a general
+ * parser.
+ */
+bool jsonStringField(const std::string &json, const std::string &key,
+                     std::string &out);
+
+/**
+ * Split the array bound to @p key into the raw text of its top-level
+ * objects (string-aware brace matching, so braces inside quoted
+ * values cannot confuse the scan). The shard-merge path uses this to
+ * walk a sweep report's "results" records. Throws std::runtime_error
+ * on a structurally malformed document — merging a corrupt shard
+ * report must fail loudly, never drop records.
+ */
+std::vector<std::string> jsonArrayObjects(const std::string &json,
+                                          const std::string &key);
 
 } // namespace ih
 

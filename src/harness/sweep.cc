@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "harness/parallel.hh"
@@ -425,6 +429,557 @@ maybeWriteJsonReport(int argc, char **argv, const std::string &sweep_id,
                       "\n");
     std::printf("wrote JSON report: %s\n", path);
     return true;
+}
+
+// --------------------------------------------------------------------------
+// Fault-tolerant sweeps
+// --------------------------------------------------------------------------
+
+const char *
+cellStatusName(CellStatus status, unsigned attempts)
+{
+    switch (status) {
+      case CellStatus::OK:
+        return attempts > 1 ? "retried" : "ok";
+      case CellStatus::FAILED:
+        return "failed";
+      case CellStatus::TIMEOUT:
+        return "timeout";
+      case CellStatus::SKIPPED:
+        return "skipped";
+    }
+    return "?";
+}
+
+std::size_t
+SweepOutcome::shardJobs() const
+{
+    std::size_t n = 0;
+    for (const CellOutcome &c : cells)
+        if (c.status != CellStatus::SKIPPED)
+            ++n;
+    return n;
+}
+
+bool
+SweepOutcome::complete() const
+{
+    for (const CellOutcome &c : cells)
+        if (c.status == CellStatus::FAILED ||
+            c.status == CellStatus::TIMEOUT)
+            return false;
+    return true;
+}
+
+std::vector<std::size_t>
+SweepOutcome::failedCells() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (cells[i].status == CellStatus::FAILED ||
+            cells[i].status == CellStatus::TIMEOUT)
+            out.push_back(i);
+    return out;
+}
+
+ShardSpec
+sweepShard()
+{
+    const char *env = std::getenv("IRONHIDE_SHARD");
+    if (!env || !*env)
+        return {};
+    unsigned long idx = 0, cnt = 0;
+    if (!parseShardSpec("IRONHIDE_SHARD", env, 4096, idx, cnt)) {
+        // Unlike the worker-count knobs, a bad shard spec must not fall
+        // back: "run everything" on what the operator believes is one
+        // shard of N silently redoes (and re-reports) the whole sweep.
+        fatal("invalid IRONHIDE_SHARD '%s' (want <i>/<N> with i < N)",
+              env);
+    }
+    ShardSpec s;
+    s.index = static_cast<unsigned>(idx);
+    s.count = static_cast<unsigned>(cnt);
+    return s;
+}
+
+SweepRunOptions
+sweepRunFromArgs(int argc, char **argv)
+{
+    SweepRunOptions o;
+    o.threads = sweepThreads();
+    o.shard = sweepShard();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--isolate") == 0) {
+            o.isolate = true;
+        } else if (std::strcmp(argv[i], "--journal") == 0) {
+            if (i + 1 >= argc)
+                fatal("--journal requires a file argument");
+            o.journalPath = argv[++i];
+        }
+    }
+    unsigned long v = 0;
+    if (parseEnvUnsigned("IRONHIDE_JOB_TIMEOUT_MS",
+                         std::getenv("IRONHIDE_JOB_TIMEOUT_MS"),
+                         86400000ul, v))
+        o.timeoutMs = v;
+    if (parseEnvUnsigned("IRONHIDE_JOB_RETRIES",
+                         std::getenv("IRONHIDE_JOB_RETRIES"), 16ul, v))
+        o.retries = static_cast<unsigned>(v);
+    return o;
+}
+
+SweepOutcome
+runFaultTolerantSweep(const std::string &sweep_id,
+                      const std::vector<SweepJob> &jobs,
+                      const SweepRunOptions &opts, const FaultPlan &faults)
+{
+    const std::size_t n = jobs.size();
+    SweepOutcome out;
+    out.shard = opts.shard;
+    out.results.resize(n);
+    out.cells.resize(n);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!opts.shard.owns(i)) {
+            out.cells[i].status = CellStatus::SKIPPED;
+            out.cells[i].attempts = 0;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    std::unique_ptr<SweepJournal> journal;
+    if (!opts.journalPath.empty()) {
+        journal = std::make_unique<SweepJournal>(opts.journalPath,
+                                                 sweep_id, n, opts.shard);
+        std::map<std::size_t, SweepJournal::Entry> done = journal->open();
+        std::vector<std::size_t> still;
+        still.reserve(pending.size());
+        for (const std::size_t i : pending) {
+            const auto it = done.find(i);
+            if (it == done.end()) {
+                still.push_back(i);
+                continue;
+            }
+            out.results[i] = std::move(it->second.result);
+            out.cells[i].attempts = it->second.attempts;
+        }
+        out.resumed = pending.size() - still.size();
+        pending.swap(still);
+    }
+
+    if (pending.empty())
+        return out;
+
+    if (opts.isolate) {
+        // The supervisor forks; it must own the only thread in this
+        // process, so the children *are* the parallelism here.
+        IsolateConfig icfg;
+        icfg.workers = SweepRunner(opts.threads).threads();
+        icfg.timeoutMs = opts.timeoutMs;
+        icfg.retries = opts.retries;
+        std::vector<IsolatedCell> cells = superviseJobs(
+            pending,
+            [&](std::size_t job) {
+                const SweepJob &j = jobs[job];
+                return runExperiment(j.app, j.arch, j.cfg, j.ihopts);
+            },
+            icfg, faults,
+            [&](std::size_t k, const IsolatedCell &cell) {
+                if (journal && cell.ok)
+                    journal->append(pending[k], cell.result,
+                                    cell.attempts);
+            });
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            const std::size_t i = pending[k];
+            IsolatedCell &c = cells[k];
+            out.cells[i].attempts = c.attempts;
+            if (c.ok) {
+                out.results[i] = std::move(c.result);
+            } else {
+                out.cells[i].status = c.timedOut ? CellStatus::TIMEOUT
+                                                 : CellStatus::FAILED;
+                out.cells[i].error = std::move(c.error);
+            }
+        }
+    } else {
+        // Inline: same thread pool as SweepRunner::run, but a throwing
+        // cell is caught and marked FAILED instead of aborting the
+        // sweep. Crashes/hangs still take the process down — that is
+        // what --isolate is for.
+        const SweepRunner runner(opts.threads);
+        parallelForIndex(pending.size(), runner.threads(),
+                         [&](std::size_t k) {
+                             const std::size_t i = pending[k];
+                             const SweepJob &j = jobs[i];
+                             try {
+                                 triggerFault(faults.at(i));
+                                 out.results[i] = runExperiment(
+                                     j.app, j.arch, j.cfg, j.ihopts);
+                                 if (journal)
+                                     journal->append(i, out.results[i],
+                                                     1);
+                             } catch (const std::exception &e) {
+                                 out.cells[i].status =
+                                     CellStatus::FAILED;
+                                 out.cells[i].error = e.what();
+                             }
+                         });
+    }
+    return out;
+}
+
+SweepOutcome
+runBenchSweep(int argc, char **argv, const std::string &sweep_id,
+              const std::vector<SweepJob> &jobs)
+{
+    jsonReportPath(argc, argv); // fail-fast probe before the runs
+    const SweepRunOptions opts = sweepRunFromArgs(argc, argv);
+    const FaultPlan faults = FaultPlan::fromEnv();
+
+    SweepOutcome out;
+    try {
+        out = runFaultTolerantSweep(sweep_id, jobs, opts, faults);
+    } catch (const JournalError &e) {
+        fatal("%s", e.what());
+    }
+
+    if (out.sharded())
+        std::printf("shard %s: %zu of %zu jobs\n",
+                    out.shard.str().c_str(), out.shardJobs(),
+                    jobs.size());
+    if (!opts.journalPath.empty())
+        std::printf("resume: %zu of %zu jobs already complete\n",
+                    out.resumed, out.shardJobs());
+    for (const std::size_t i : out.failedCells()) {
+        const CellOutcome &c = out.cells[i];
+        const SweepJob &j = jobs[i];
+        std::printf("%s job %zu (%s/%s%s%s): %s [%u attempt%s]\n",
+                    c.status == CellStatus::TIMEOUT ? "TIMEOUT"
+                                                    : "FAILED",
+                    i, j.app.name.c_str(), archName(j.arch),
+                    j.tag.empty() ? "" : " ", j.tag.c_str(),
+                    c.error.c_str(), c.attempts,
+                    c.attempts == 1 ? "" : "s");
+    }
+    if (!out.complete())
+        std::printf("sweep degraded: %zu of %zu cells failed; tables "
+                    "and summaries cover the survivors only\n",
+                    out.failedCells().size(), out.shardJobs());
+    return out;
+}
+
+SweepSummary
+summarize(const std::vector<ExperimentResult> &results,
+          const std::vector<CellOutcome> &cells)
+{
+    IH_ASSERT(results.size() == cells.size(),
+              "summarize: %zu results vs %zu cells", results.size(),
+              cells.size());
+    std::vector<ExperimentResult> ok;
+    ok.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (cells[i].ok())
+            ok.push_back(results[i]);
+    return summarize(ok);
+}
+
+std::string
+sweepToJson(const std::string &sweep_id, const std::vector<SweepJob> &jobs,
+            const SweepOutcome &o)
+{
+    IH_ASSERT(jobs.size() == o.results.size() &&
+                  jobs.size() == o.cells.size(),
+              "sweepToJson: %zu jobs vs %zu results / %zu cells",
+              jobs.size(), o.results.size(), o.cells.size());
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("sweep/v2");
+    w.key("sweep").value(sweep_id);
+    w.key("jobs").value(std::uint64_t{jobs.size()});
+    if (o.sharded()) {
+        w.key("shard").value(o.shard.str());
+        w.key("shard_jobs").value(std::uint64_t{o.shardJobs()});
+    }
+    w.key("complete").value(o.complete());
+    const std::vector<std::size_t> failed = o.failedCells();
+    if (!failed.empty()) {
+        w.key("failed_cells").beginArray();
+        for (const std::size_t i : failed)
+            w.value(std::uint64_t{i});
+        w.endArray();
+    }
+
+    w.key("results").beginArray();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const CellOutcome &c = o.cells[i];
+        if (c.status == CellStatus::SKIPPED)
+            continue;
+        const SweepJob &job = jobs[i];
+        const ExperimentResult &r = o.results[i];
+        w.beginObject();
+        w.key("job").value(std::uint64_t{i});
+        w.key("app").value(job.app.name);
+        w.key("arch").value(archName(job.arch));
+        if (!job.tag.empty())
+            w.key("tag").value(job.tag);
+        if (job.arch == ArchKind::IRONHIDE)
+            w.key("policy").value(policyName(job.ihopts.policy));
+        w.key("status").value(cellStatusName(c.status, c.attempts));
+        if (c.attempts > 1)
+            w.key("attempts").value(c.attempts);
+        if (c.ok()) {
+            w.key("completion_ms").value(r.run.completionMs());
+            w.key("purge_ms").value(cyclesToMs(r.run.purgeCycles));
+            w.key("transition_ms")
+                .value(cyclesToMs(r.run.transitionCycles));
+            w.key("reconfig_ms")
+                .value(cyclesToMs(r.run.reconfigCycles));
+            // The exact integers behind the ms views: a merge (or any
+            // consumer) reconstructs results from these verbatim, with
+            // no floating-point round-trip in sight.
+            w.key("completion_cycles").value(r.run.completion);
+            w.key("purge_cycles").value(r.run.purgeCycles);
+            w.key("transition_cycles").value(r.run.transitionCycles);
+            w.key("reconfig_cycles").value(r.run.reconfigCycles);
+            w.key("transitions").value(r.run.transitions);
+            w.key("l1_miss_rate").value(r.run.l1MissRate);
+            w.key("l2_miss_rate").value(r.run.l2MissRate);
+            w.key("interactivity_per_sec")
+                .value(r.run.interactivityPerSec);
+            w.key("secure_cores")
+                .value(std::uint64_t{r.run.secureCores});
+            w.key("decided_split").value(std::uint64_t{r.decidedSplit});
+            w.key("probes").value(std::uint64_t{r.probes});
+            w.key("instructions").value(r.run.instructions);
+            w.key("isolation_violations")
+                .value(r.run.isolationViolations);
+            w.key("blocked_accesses").value(r.run.blockedAccesses);
+        } else {
+            w.key("error").value(c.error);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    const SweepSummary summary = summarize(o.results, o.cells);
+    w.key("summary").beginArray();
+    for (const ArchAggregate &a : summary.byArch) {
+        w.beginObject();
+        w.key("arch").value(a.arch);
+        w.key("jobs").value(std::uint64_t{a.jobs});
+        w.key("geomean_completion_ms").value(a.geomeanCompletionMs);
+        w.key("geomean_l1_miss_rate").value(a.geomeanL1MissRate);
+        w.key("geomean_l2_miss_rate").value(a.geomeanL2MissRate);
+        w.key("mean_secure_cores").value(a.meanSecureCores);
+        w.key("total_purge_ms").value(cyclesToMs(a.totalPurgeCycles));
+        w.key("total_transition_ms")
+            .value(cyclesToMs(a.totalTransitionCycles));
+        w.key("total_reconfig_ms")
+            .value(cyclesToMs(a.totalReconfigCycles));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stats").beginObject();
+    for (const auto &[name, counter] : summary.stats.counters())
+        w.key(name).value(counter.value());
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+maybeWriteJsonReport(int argc, char **argv, const std::string &sweep_id,
+                     const std::vector<SweepJob> &jobs,
+                     const SweepOutcome &outcome)
+{
+    const char *path = jsonReportPath(argc, argv);
+    if (!path)
+        return false;
+    writeTextFile(path, sweepToJson(sweep_id, jobs, outcome) + "\n");
+    std::printf("wrote JSON report: %s\n", path);
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Shard-report merging
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+/** Parse one "sweep/v2" record back into (result, outcome); throws on
+ *  anything missing or inconsistent with @p job. */
+void
+parseMergedRecord(const std::string &rec, std::size_t id,
+                  const SweepJob &job, ExperimentResult &r, CellOutcome &c)
+{
+    std::string app, arch, status;
+    if (!jsonStringField(rec, "app", app) ||
+        !jsonStringField(rec, "arch", arch) ||
+        !jsonStringField(rec, "status", status))
+        throw std::runtime_error(strprintf(
+            "merge: job %zu record lacks app/arch/status", id));
+    if (app != job.app.name || arch != archName(job.arch))
+        throw std::runtime_error(strprintf(
+            "merge: job %zu is %s/%s in the report but %s/%s in this "
+            "binary's grid",
+            id, app.c_str(), arch.c_str(), job.app.name.c_str(),
+            archName(job.arch)));
+
+    std::uint64_t attempts = 1;
+    jsonUnsignedField(rec, "attempts", attempts);
+    c.attempts = static_cast<unsigned>(attempts);
+
+    if (status == "failed" || status == "timeout") {
+        c.status = status == "failed" ? CellStatus::FAILED
+                                      : CellStatus::TIMEOUT;
+        jsonStringField(rec, "error", c.error);
+        return;
+    }
+    if (status != "ok" && status != "retried")
+        throw std::runtime_error(strprintf(
+            "merge: job %zu has unknown status '%s'", id,
+            status.c_str()));
+
+    c.status = CellStatus::OK;
+    r.app = app;
+    r.arch = arch;
+    const auto needU = [&](const char *key, std::uint64_t &dst) {
+        if (!jsonUnsignedField(rec, key, dst))
+            throw std::runtime_error(strprintf(
+                "merge: job %zu record lacks integer '%s'", id, key));
+    };
+    const auto needD = [&](const char *key, double &dst) {
+        if (!jsonNumberField(rec, key, dst))
+            throw std::runtime_error(strprintf(
+                "merge: job %zu record lacks number '%s'", id, key));
+    };
+    needU("completion_cycles", r.run.completion);
+    needU("purge_cycles", r.run.purgeCycles);
+    needU("transition_cycles", r.run.transitionCycles);
+    needU("reconfig_cycles", r.run.reconfigCycles);
+    needU("transitions", r.run.transitions);
+    needD("l1_miss_rate", r.run.l1MissRate);
+    needD("l2_miss_rate", r.run.l2MissRate);
+    needD("interactivity_per_sec", r.run.interactivityPerSec);
+    std::uint64_t secure = 0, decided = 0, probes = 0;
+    needU("secure_cores", secure);
+    needU("decided_split", decided);
+    needU("probes", probes);
+    needU("instructions", r.run.instructions);
+    needU("isolation_violations", r.run.isolationViolations);
+    needU("blocked_accesses", r.run.blockedAccesses);
+    r.run.secureCores = static_cast<unsigned>(secure);
+    r.decidedSplit = static_cast<unsigned>(decided);
+    r.probes = static_cast<unsigned>(probes);
+}
+
+} // namespace
+
+SweepOutcome
+mergeShardReports(const std::string &sweep_id,
+                  const std::vector<SweepJob> &jobs,
+                  const std::vector<std::string> &reports)
+{
+    if (reports.empty())
+        throw std::runtime_error("merge: no shard reports given");
+
+    const std::size_t n = jobs.size();
+    SweepOutcome out;
+    out.results.resize(n);
+    out.cells.resize(n);
+    std::vector<bool> seen(n, false);
+
+    for (std::size_t ri = 0; ri < reports.size(); ++ri) {
+        const std::string &text = reports[ri];
+        std::string schema, sweep;
+        std::uint64_t jcount = 0;
+        if (!jsonStringField(text, "schema", schema) ||
+            schema != "sweep/v2")
+            throw std::runtime_error(strprintf(
+                "merge: shard report %zu is not a sweep/v2 report",
+                ri));
+        if (!jsonStringField(text, "sweep", sweep) || sweep != sweep_id)
+            throw std::runtime_error(strprintf(
+                "merge: shard report %zu is for sweep '%s', not '%s'",
+                ri, sweep.c_str(), sweep_id.c_str()));
+        if (!jsonUnsignedField(text, "jobs", jcount) || jcount != n)
+            throw std::runtime_error(strprintf(
+                "merge: shard report %zu covers a %" PRIu64
+                "-job sweep, this binary's grid has %zu",
+                ri, jcount, n));
+
+        for (const std::string &rec : jsonArrayObjects(text, "results")) {
+            std::uint64_t id = 0;
+            if (!jsonUnsignedField(rec, "job", id) || id >= n)
+                throw std::runtime_error(strprintf(
+                    "merge: shard report %zu has a record without a "
+                    "valid job id",
+                    ri));
+            if (seen[id])
+                throw std::runtime_error(strprintf(
+                    "merge: job %" PRIu64
+                    " appears in more than one shard report",
+                    id));
+            seen[id] = true;
+            parseMergedRecord(rec, id, jobs[id], out.results[id],
+                              out.cells[id]);
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        if (!seen[i])
+            throw std::runtime_error(strprintf(
+                "merge: job %zu missing from every shard report "
+                "(wrong shard set?)",
+                i));
+    return out;
+}
+
+int
+maybeMergeShardReports(int argc, char **argv, const std::string &sweep_id,
+                       const std::vector<SweepJob> &jobs)
+{
+    int mergeAt = -1;
+    for (int i = 1; i < argc && mergeAt < 0; ++i)
+        if (std::strcmp(argv[i], "--merge") == 0)
+            mergeAt = i;
+    if (mergeAt < 0)
+        return -1;
+
+    const char *outPath = jsonReportPath(argc, argv);
+    if (!outPath)
+        fatal("--merge requires --json <path> for the combined report");
+
+    std::vector<std::string> texts;
+    for (int i = mergeAt + 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            ++i; // the output pair, not a shard report
+            continue;
+        }
+        texts.push_back(readTextFile(argv[i]));
+    }
+    if (texts.empty())
+        fatal("--merge requires at least one shard report path");
+
+    SweepOutcome merged;
+    try {
+        merged = mergeShardReports(sweep_id, jobs, texts);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    writeTextFile(outPath, sweepToJson(sweep_id, jobs, merged) + "\n");
+    std::printf("merged %zu shard reports -> %s\n", texts.size(),
+                outPath);
+    if (!merged.complete())
+        std::printf("merged sweep degraded: %zu of %zu cells failed\n",
+                    merged.failedCells().size(), jobs.size());
+    return merged.exitCode();
 }
 
 } // namespace ih

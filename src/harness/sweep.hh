@@ -17,6 +17,17 @@
  * the worker count or interleaving. run(jobs, 1 thread) and
  * run(jobs, N threads) produce identical ExperimentResults in
  * identical order (tests/test_sweep.cc holds this invariant).
+ *
+ * On top of the plain runner sits the fault-tolerant sweep path every
+ * bench uses (runBenchSweep): deterministic IRONHIDE_SHARD=i/N job
+ * partitioning whose per-shard reports --merge recombines into a file
+ * byte-identical to an unsharded run; an opt-in --isolate supervisor
+ * (harness/isolate) that contains crashes/hangs to single FAILED or
+ * TIMEOUT cells; a --journal crash-safe resume log (harness/journal);
+ * and degraded-but-honest reporting — summaries over the surviving
+ * cells, failed cells listed by canonical id, and a distinct exit code
+ * (kExitDegraded) so automation can tell "all cells" from "most
+ * cells".
  */
 
 #ifndef IH_HARNESS_SWEEP_HH
@@ -28,6 +39,8 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/isolate.hh"
+#include "harness/journal.hh"
 #include "harness/parallel.hh"
 #include "sim/stats.hh"
 
@@ -194,6 +207,112 @@ struct SweepSummary
 /** Fold @p results into per-architecture aggregates. */
 SweepSummary summarize(const std::vector<ExperimentResult> &results);
 
+// --------------------------------------------------------------------------
+// Fault-tolerant sweeps (sharding, isolation, journaled resume)
+// --------------------------------------------------------------------------
+
+/** Exit code of a sweep that finished with failed/timed-out cells:
+ *  distinct from 0 (complete) and from 1 (the sweep itself died). */
+constexpr int kExitDegraded = 65;
+
+/** Terminal state of one sweep cell. */
+enum class CellStatus : std::uint8_t
+{
+    OK = 0,  ///< result is valid ("ok", or "retried" when attempts > 1)
+    FAILED,  ///< crashed / threw / determinism violation — no result
+    TIMEOUT, ///< exceeded the per-job wall timeout — no result
+    SKIPPED, ///< owned by another shard — not attempted here
+};
+
+/** JSON/status-line spelling of (@p status, @p attempts). */
+const char *cellStatusName(CellStatus status, unsigned attempts);
+
+struct CellOutcome
+{
+    CellStatus status = CellStatus::OK;
+    unsigned attempts = 1;
+    std::string error; ///< deterministic text for FAILED/TIMEOUT
+
+    bool ok() const { return status == CellStatus::OK; }
+};
+
+/**
+ * Knobs of one fault-tolerant sweep invocation, resolved from argv
+ * (--isolate, --journal <path>) and the environment (IRONHIDE_THREADS,
+ * IRONHIDE_SHARD, IRONHIDE_JOB_TIMEOUT_MS, IRONHIDE_JOB_RETRIES) by
+ * sweepRunFromArgs().
+ */
+struct SweepRunOptions
+{
+    unsigned threads = 0;        ///< workers (0 = hardware concurrency)
+    bool isolate = false;        ///< fork each job into a child
+    std::string journalPath;     ///< crash-safe resume log; "" = none
+    ShardSpec shard;             ///< this process's job partition
+    std::uint64_t timeoutMs = 0; ///< per-job wall timeout (isolate only)
+    unsigned retries = 1;        ///< extra attempts per failed job
+};
+
+/** IRONHIDE_SHARD as a ShardSpec. Unset = the whole sweep; a malformed
+ *  value is fatal() — silently running every job on what the operator
+ *  believes is one shard of N wastes the whole fleet's work. */
+ShardSpec sweepShard();
+
+/** Resolve SweepRunOptions from argv + environment (fatal on
+ *  malformed flags, e.g. a bare trailing "--journal"). */
+SweepRunOptions sweepRunFromArgs(int argc, char **argv);
+
+/**
+ * Everything a fault-tolerant sweep produced. results/cells are
+ * parallel to the job list; a cell's result is meaningful only when
+ * its outcome is OK.
+ */
+struct SweepOutcome
+{
+    std::vector<ExperimentResult> results;
+    std::vector<CellOutcome> cells;
+    ShardSpec shard;
+    std::size_t resumed = 0; ///< cells satisfied from the journal
+
+    bool sharded() const { return shard.active(); }
+    /** Cells this shard owns (everything not SKIPPED). */
+    std::size_t shardJobs() const;
+    /** Did every owned cell finish OK? */
+    bool complete() const;
+    /** Canonical ids of owned FAILED/TIMEOUT cells, ascending. */
+    std::vector<std::size_t> failedCells() const;
+    /** 0 when complete, kExitDegraded otherwise. */
+    int exitCode() const { return complete() ? 0 : kExitDegraded; }
+};
+
+/**
+ * Run @p jobs under @p opts: skip cells other shards own, satisfy
+ * journaled cells without re-running them, execute the rest inline
+ * (exceptions caught per cell) or under the --isolate supervisor
+ * (crashes/hangs/timeouts contained per cell), applying @p faults.
+ * Completed cells are appended to the journal as they finish. Throws
+ * JournalError per the journal's corruption contract.
+ */
+SweepOutcome runFaultTolerantSweep(const std::string &sweep_id,
+                                   const std::vector<SweepJob> &jobs,
+                                   const SweepRunOptions &opts,
+                                   const FaultPlan &faults);
+
+/**
+ * The bench driver: options from argv/env, faults from IH_FAULT_INJECT,
+ * fail-fast --json probe, runFaultTolerantSweep, then the shard /
+ * resume / per-failed-cell status lines every bench prints the same
+ * way. Benches render their tables from the returned outcome (full
+ * tables only when complete and unsharded) and exit with exitCode().
+ */
+SweepOutcome runBenchSweep(int argc, char **argv,
+                           const std::string &sweep_id,
+                           const std::vector<SweepJob> &jobs);
+
+/** Fold only the OK cells of @p results into aggregates — the
+ *  degraded-sweep summary is honest about covering survivors only. */
+SweepSummary summarize(const std::vector<ExperimentResult> &results,
+                       const std::vector<CellOutcome> &cells);
+
 /** Bench worker count from the IRONHIDE_THREADS env var
  *  (0 / unset = hardware concurrency). */
 unsigned sweepThreads();
@@ -201,12 +320,52 @@ unsigned sweepThreads();
 /**
  * Machine-readable report: sweep id, one record per (job, result)
  * pair, and the per-arch summary, as a single JSON document.
- * @p jobs and @p results must be parallel vectors.
+ * @p jobs and @p results must be parallel vectors. (The legacy
+ * all-cells-succeeded form; benches now render the outcome overload.)
  */
 std::string sweepToJson(const std::string &sweep_id,
                         const std::vector<SweepJob> &jobs,
                         const std::vector<ExperimentResult> &results,
                         const SweepSummary &summary);
+
+/**
+ * The "sweep/v2" report: one record per cell this shard attempted
+ * (SKIPPED cells are omitted), each carrying its canonical "job" id,
+ * its "status" ("ok"/"retried"/"failed"/"timeout"), the exact
+ * "*_cycles" integers alongside the derived millisecond views (so a
+ * merge can reconstruct results without floating-point drift), and —
+ * for failed cells — the deterministic "error" text. Degradation is
+ * explicit: a "complete" flag and, when non-empty, the "failed_cells"
+ * id list; shard runs also carry "shard" and "shard_jobs". A complete
+ * unsharded outcome and a --merge of complete shard outcomes render
+ * byte-identically.
+ */
+std::string sweepToJson(const std::string &sweep_id,
+                        const std::vector<SweepJob> &jobs,
+                        const SweepOutcome &outcome);
+
+/**
+ * Recombine per-shard "sweep/v2" reports (raw JSON texts) into the
+ * outcome an unsharded run would have produced. Validates schema,
+ * sweep id and job count, requires every canonical job id exactly
+ * once across the shards, and cross-checks each record's app/arch
+ * against the rebuilt job list. Throws std::runtime_error on any
+ * mismatch — a merge must never fabricate or drop a cell.
+ */
+SweepOutcome mergeShardReports(const std::string &sweep_id,
+                               const std::vector<SweepJob> &jobs,
+                               const std::vector<std::string> &reports);
+
+/**
+ * The bench --merge entry point: "--json <out> --merge <shard.json>..."
+ * reads the shard reports, merges them and writes the combined report
+ * to the --json path. Returns -1 when argv has no --merge (the bench
+ * proceeds to run normally), else the process exit code (0 complete /
+ * kExitDegraded when the merged sweep has failed cells).
+ */
+int maybeMergeShardReports(int argc, char **argv,
+                           const std::string &sweep_id,
+                           const std::vector<SweepJob> &jobs);
 
 /**
  * Path from a "--json <path>" argv pair, nullptr when absent. A bare
@@ -223,6 +382,12 @@ bool maybeWriteJsonReport(int argc, char **argv,
                           const std::string &sweep_id,
                           const std::vector<SweepJob> &jobs,
                           const std::vector<ExperimentResult> &results);
+
+/** The fault-tolerant sibling: writes the "sweep/v2" outcome report. */
+bool maybeWriteJsonReport(int argc, char **argv,
+                          const std::string &sweep_id,
+                          const std::vector<SweepJob> &jobs,
+                          const SweepOutcome &outcome);
 
 } // namespace ih
 

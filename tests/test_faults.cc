@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Fault-tolerance tests: fault-plan parsing, the exact result wire
+ * format, the append-only resume journal (bootstrap, reload, the
+ * corruption contract), resume-runs-only-incomplete-jobs, and the
+ * --isolate supervisor (crash containment, timeouts, bounded retries,
+ * the retry-checksum determinism gate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/isolate.hh"
+#include "harness/journal.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+using namespace ih;
+
+namespace
+{
+
+/** A fast app spec so the forked/parallel runs stay sub-second. */
+AppSpec
+tiny(const char *name = "<AES, QUERY>")
+{
+    AppSpec spec = findApp(name, 0.05);
+    spec.interactions = 4;
+    spec.insecureThreads = 2;
+    spec.secureThreads = 2;
+    return spec;
+}
+
+/** Six-job grid spanning two apps and three architectures. */
+std::vector<SweepJob>
+testJobs()
+{
+    return SweepGrid()
+        .config(SysConfig::smallTest())
+        .app(tiny("<AES, QUERY>"))
+        .app(tiny("<SSSP, GRAPH>"))
+        .archs({ArchKind::INSECURE, ArchKind::SGX_LIKE, ArchKind::MI6})
+        .jobs();
+}
+
+/** A journal path inside gtest's per-test temp dir. */
+std::string
+journalPath(const char *name)
+{
+    const std::string p = ::testing::TempDir() + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+/** A result with values chosen to stress the wire format. */
+ExperimentResult
+nastyResult()
+{
+    ExperimentResult r;
+    r.app = "<AES, QUERY>";
+    r.arch = "ironhide";
+    r.run.completion = (std::uint64_t{1} << 53) + 1; // not double-exact
+    r.run.purgeCycles = UINT64_MAX;
+    r.run.transitionCycles = 0;
+    r.run.reconfigCycles = 123456789012345ull;
+    r.run.transitions = 7;
+    r.run.l1MissRate = 0.1;               // not binary-representable
+    r.run.l2MissRate = 1.0 / 3.0;         // needs all 17 digits
+    // Smallest *normal* double: subnormals underflow strtod (ERANGE)
+    // and are rightly rejected — no real run produces them.
+    r.run.interactivityPerSec = 2.2250738585072014e-308;
+    r.run.secureCores = 61;
+    r.run.instructions = 999999999999999999ull;
+    r.run.isolationViolations = 1;
+    r.run.blockedAccesses = 42;
+    r.decidedSplit = 19;
+    r.probes = 6;
+    return r;
+}
+
+/**
+ * Garble the @p nth record's checksum in the journal at @p path
+ * (0-based, counting record lines only — the header is line 0).
+ */
+void
+garbleRecordSum(const std::string &path, std::size_t nth)
+{
+    std::string text = readTextFile(path);
+    std::size_t pos = 0;
+    for (std::size_t seen = 0;; ++seen) {
+        pos = text.find("\"sum\":\"", pos);
+        ASSERT_NE(pos, std::string::npos);
+        if (seen == nth)
+            break;
+        ++pos;
+    }
+    char &digit = text[pos + 7];
+    digit = digit == '0' ? '1' : '0';
+    writeTextFile(path, text);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Fault-plan parsing
+// --------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesEveryFaultKind)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "job:3:crash,job:7:hang_ms:250,job:1:fail,job:2:kill,"
+        "job:0:nondet");
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.at(3).kind, FaultKind::CRASH);
+    EXPECT_EQ(plan.at(7).kind, FaultKind::HANG_MS);
+    EXPECT_EQ(plan.at(7).ms, 250u);
+    EXPECT_EQ(plan.at(1).kind, FaultKind::FAIL);
+    EXPECT_EQ(plan.at(2).kind, FaultKind::KILL);
+    EXPECT_EQ(plan.at(0).kind, FaultKind::NONDET);
+    // Unlisted jobs are untouched.
+    EXPECT_EQ(plan.at(5).kind, FaultKind::NONE);
+    EXPECT_TRUE(FaultPlan().empty());
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    // A typo'd plan silently injecting nothing would fake robustness,
+    // so every malformation is a loud error.
+    for (const char *bad :
+         {"x", "job", "job:1", "job:1:boom", "job:a:crash",
+          "job:1:hang_ms", "job:1:hang_ms:abc", "job:1:crash:extra",
+          "1:crash", "job:1:CRASH"})
+        EXPECT_THROW(FaultPlan::parse(bad), std::runtime_error)
+            << "accepted '" << bad << "'";
+    // Two faults for the same job: ambiguous, refuse.
+    EXPECT_THROW(FaultPlan::parse("job:1:crash,job:1:fail"),
+                 std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// The result wire format (journal payloads and the supervisor pipe)
+// --------------------------------------------------------------------------
+
+TEST(WireFormat, RoundTripsEveryFieldExactly)
+{
+    const ExperimentResult r = nastyResult();
+    const std::string payload = serializeResult(r);
+
+    ExperimentResult back;
+    ASSERT_TRUE(deserializeResult(payload, back));
+    EXPECT_EQ(back.app, r.app);
+    EXPECT_EQ(back.arch, r.arch);
+    EXPECT_EQ(back.run.completion, r.run.completion);
+    EXPECT_EQ(back.run.purgeCycles, r.run.purgeCycles);
+    EXPECT_EQ(back.run.transitionCycles, r.run.transitionCycles);
+    EXPECT_EQ(back.run.reconfigCycles, r.run.reconfigCycles);
+    EXPECT_EQ(back.run.transitions, r.run.transitions);
+    // Bitwise double equality: %.17g + strtod is lossless.
+    EXPECT_EQ(back.run.l1MissRate, r.run.l1MissRate);
+    EXPECT_EQ(back.run.l2MissRate, r.run.l2MissRate);
+    EXPECT_EQ(back.run.interactivityPerSec, r.run.interactivityPerSec);
+    EXPECT_EQ(back.run.secureCores, r.run.secureCores);
+    EXPECT_EQ(back.run.instructions, r.run.instructions);
+    EXPECT_EQ(back.run.isolationViolations, r.run.isolationViolations);
+    EXPECT_EQ(back.run.blockedAccesses, r.run.blockedAccesses);
+    EXPECT_EQ(back.decidedSplit, r.decidedSplit);
+    EXPECT_EQ(back.probes, r.probes);
+
+    // The round-trip is also serialization-stable (checksums agree).
+    EXPECT_EQ(serializeResult(back), payload);
+}
+
+TEST(WireFormat, RejectsDamagedPayloads)
+{
+    const std::string good = serializeResult(nastyResult());
+    ExperimentResult r;
+    EXPECT_FALSE(deserializeResult("", r));
+    EXPECT_FALSE(deserializeResult("ihres1", r));
+    EXPECT_FALSE(deserializeResult("wrong|" + good, r));
+    // Truncated: drop the last field.
+    EXPECT_FALSE(
+        deserializeResult(good.substr(0, good.rfind('|')), r));
+    // Extra trailing field.
+    EXPECT_FALSE(deserializeResult(good + "|0", r));
+    // A numeric field replaced with garbage.
+    std::string garbled = good;
+    garbled.replace(garbled.rfind('|') + 1, std::string::npos, "x");
+    EXPECT_FALSE(deserializeResult(garbled, r));
+}
+
+TEST(WireFormat, ChecksumIsStableAndSensitive)
+{
+    // Pinned FNV-1a 64 vectors: the checksum is part of the on-disk
+    // format, so a refactor that changes it must fail here.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(checksumHex(""), "cbf29ce484222325");
+    EXPECT_NE(checksumHex("ihres1|a"), checksumHex("ihres1|b"));
+}
+
+// --------------------------------------------------------------------------
+// The resume journal
+// --------------------------------------------------------------------------
+
+TEST(Journal, BootstrapsAppendsAndReloads)
+{
+    const std::string path = journalPath("journal_basic.jsonl");
+    const ExperimentResult r = nastyResult();
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        EXPECT_TRUE(j.open().empty());
+        j.append(2, r, 1);
+        j.append(4, r, 3);
+    }
+    SweepJournal j(path, "unit", 6, ShardSpec{});
+    const std::map<std::size_t, SweepJournal::Entry> done = j.open();
+    ASSERT_EQ(done.size(), 2u);
+    ASSERT_TRUE(done.count(2));
+    ASSERT_TRUE(done.count(4));
+    EXPECT_EQ(done.at(2).attempts, 1u);
+    EXPECT_EQ(done.at(4).attempts, 3u);
+    EXPECT_EQ(serializeResult(done.at(2).result), serializeResult(r));
+}
+
+TEST(Journal, RejectsAForeignHeader)
+{
+    const std::string path = journalPath("journal_header.jsonl");
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        j.open();
+    }
+    // Wrong sweep id, wrong job count, wrong shard: each must refuse —
+    // resuming the wrong sweep would silently skip its jobs.
+    EXPECT_THROW(SweepJournal(path, "other", 6, ShardSpec{}).open(),
+                 JournalError);
+    EXPECT_THROW(SweepJournal(path, "unit", 7, ShardSpec{}).open(),
+                 JournalError);
+    EXPECT_THROW(SweepJournal(path, "unit", 6, ShardSpec{1, 3}).open(),
+                 JournalError);
+    // Not a journal at all.
+    writeTextFile(path, "{\"whatever\":1}\n");
+    EXPECT_THROW(SweepJournal(path, "unit", 6, ShardSpec{}).open(),
+                 JournalError);
+}
+
+TEST(Journal, DropsATruncatedFinalRecord)
+{
+    const std::string path = journalPath("journal_trunc.jsonl");
+    const ExperimentResult r = nastyResult();
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        j.open();
+        j.append(0, r, 1);
+        j.append(1, r, 1);
+        j.append(2, r, 1);
+    }
+    // Chop mid-record: the crash artifact the design promises to heal.
+    const std::string text = readTextFile(path);
+    writeTextFile(path, text.substr(0, text.size() - 20));
+
+    SweepJournal j(path, "unit", 6, ShardSpec{});
+    const auto done = j.open();
+    EXPECT_EQ(done.size(), 2u);
+    EXPECT_FALSE(done.count(2)); // the damaged record re-runs
+}
+
+TEST(Journal, ChecksumDamageIsLenientOnlyOnTheFinalRecord)
+{
+    const std::string path = journalPath("journal_sum.jsonl");
+    const ExperimentResult r = nastyResult();
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        j.open();
+        j.append(0, r, 1);
+        j.append(1, r, 1);
+        j.append(2, r, 1);
+    }
+    // Garbled *final* record: dropped, job re-runs.
+    garbleRecordSum(path, 2);
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        const auto done = j.open();
+        EXPECT_EQ(done.size(), 2u);
+        EXPECT_FALSE(done.count(2));
+    }
+    // Garbled *middle* record: beyond the crash model — refuse loudly
+    // rather than silently resume over unknown damage.
+    garbleRecordSum(path, 0);
+    EXPECT_THROW(SweepJournal(path, "unit", 6, ShardSpec{}).open(),
+                 JournalError);
+}
+
+TEST(Journal, DuplicateRecordsCollapseUnlessTheyDisagree)
+{
+    const std::string path = journalPath("journal_dup.jsonl");
+    const ExperimentResult r = nastyResult();
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        j.open();
+        j.append(3, r, 1);
+        j.append(3, r, 2); // replayed append, same payload: idempotent
+    }
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        const auto done = j.open();
+        EXPECT_EQ(done.size(), 1u);
+        EXPECT_EQ(done.at(3).attempts, 1u); // first record wins
+    }
+    // The same job with a *different* (but self-consistent) payload is
+    // a determinism violation, not a replay.
+    ExperimentResult other = r;
+    other.run.instructions += 1;
+    {
+        SweepJournal j(path, "unit", 6, ShardSpec{});
+        j.open();
+        j.append(3, other, 1);
+    }
+    EXPECT_THROW(SweepJournal(path, "unit", 6, ShardSpec{}).open(),
+                 JournalError);
+}
+
+TEST(Journal, RejectsRecordsOutsideTheShard)
+{
+    const std::string path = journalPath("journal_shard.jsonl");
+    const ExperimentResult r = nastyResult();
+    {
+        // Shard 1/3 owns jobs 1 and 4 of six.
+        SweepJournal j(path, "unit", 6, ShardSpec{1, 3});
+        j.open();
+        j.append(1, r, 1);
+        j.append(2, r, 1); // not ours — damaged final record, dropped
+    }
+    SweepJournal j(path, "unit", 6, ShardSpec{1, 3});
+    const auto done = j.open();
+    EXPECT_EQ(done.size(), 1u);
+    EXPECT_TRUE(done.count(1));
+}
+
+TEST(Journal, ResumeRunsOnlyTheIncompleteJobs)
+{
+    const std::string path = journalPath("journal_resume.jsonl");
+    std::vector<SweepJob> jobs = testJobs();
+
+    // First pass: job 2 fails (injected), the other five land in the
+    // journal.
+    SweepRunOptions opts;
+    opts.threads = 2;
+    opts.journalPath = path;
+    const SweepOutcome first = runFaultTolerantSweep(
+        "unit_resume", jobs, opts, FaultPlan::parse("job:2:fail"));
+    EXPECT_EQ(first.exitCode(), kExitDegraded);
+    EXPECT_EQ(first.failedCells(), std::vector<std::size_t>{2});
+    EXPECT_EQ(first.resumed, 0u);
+
+    // Second pass, no faults: count executions through the app
+    // factory — exactly the one incomplete job may re-run.
+    std::atomic<unsigned> executed{0};
+    for (SweepJob &job : jobs) {
+        const auto inner = job.app.make;
+        job.app.make = [inner, &executed](const SysConfig &cfg) {
+            ++executed;
+            return inner(cfg);
+        };
+    }
+    const SweepOutcome second =
+        runFaultTolerantSweep("unit_resume", jobs, opts, FaultPlan());
+    EXPECT_TRUE(second.complete());
+    EXPECT_EQ(second.exitCode(), 0);
+    EXPECT_EQ(second.resumed, jobs.size() - 1);
+    EXPECT_EQ(executed.load(), 1u);
+
+    // The healed sweep renders exactly like a never-failed one.
+    const SweepOutcome fresh = runFaultTolerantSweep(
+        "unit_resume", testJobs(), SweepRunOptions{}, FaultPlan());
+    EXPECT_EQ(sweepToJson("unit_resume", jobs, second),
+              sweepToJson("unit_resume", jobs, fresh));
+}
+
+// --------------------------------------------------------------------------
+// The --isolate supervisor
+// --------------------------------------------------------------------------
+
+TEST(Isolate, MatchesTheInlinePathByteForByte)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions inline_opts;
+    inline_opts.threads = 2;
+    SweepRunOptions iso_opts = inline_opts;
+    iso_opts.isolate = true;
+
+    const SweepOutcome a =
+        runFaultTolerantSweep("unit_iso", jobs, inline_opts, FaultPlan());
+    const SweepOutcome b =
+        runFaultTolerantSweep("unit_iso", jobs, iso_opts, FaultPlan());
+    ASSERT_TRUE(a.complete());
+    ASSERT_TRUE(b.complete());
+    // Forking the jobs into children is unobservable in the report.
+    EXPECT_EQ(sweepToJson("unit_iso", jobs, a),
+              sweepToJson("unit_iso", jobs, b));
+}
+
+TEST(Isolate, ACrashFailsOnlyItsCellAfterBoundedRetries)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions opts;
+    opts.threads = 2;
+    opts.isolate = true;
+    opts.retries = 2;
+    const SweepOutcome out = runFaultTolerantSweep(
+        "unit_crash", jobs, opts, FaultPlan::parse("job:2:crash"));
+
+    EXPECT_EQ(out.exitCode(), kExitDegraded);
+    EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{2});
+    EXPECT_EQ(out.cells[2].status, CellStatus::FAILED);
+    EXPECT_EQ(out.cells[2].attempts, 3u); // 1 try + 2 retries
+    EXPECT_NE(out.cells[2].error.find("signal"), std::string::npos);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (j != 2) {
+            EXPECT_TRUE(out.cells[j].ok()) << "cell " << j;
+        }
+    }
+}
+
+TEST(Isolate, AHangTripsThePerJobTimeout)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions opts;
+    opts.threads = 2;
+    opts.isolate = true;
+    opts.timeoutMs = 250;
+    opts.retries = 1;
+    const SweepOutcome out = runFaultTolerantSweep(
+        "unit_hang", jobs, opts,
+        FaultPlan::parse("job:1:hang_ms:60000"));
+
+    EXPECT_EQ(out.exitCode(), kExitDegraded);
+    EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{1});
+    EXPECT_EQ(out.cells[1].status, CellStatus::TIMEOUT);
+    EXPECT_NE(out.cells[1].error.find("timed out after 250 ms"),
+              std::string::npos);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (j != 1) {
+            EXPECT_TRUE(out.cells[j].ok()) << "cell " << j;
+        }
+    }
+}
+
+TEST(Isolate, ANondeterministicRetryTripsTheChecksumGate)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions opts;
+    opts.threads = 2;
+    opts.isolate = true;
+    const SweepOutcome out = runFaultTolerantSweep(
+        "unit_nondet", jobs, opts, FaultPlan::parse("job:0:nondet"));
+
+    // Attempt 1 emits a perturbed payload and dies; the retry's clean
+    // payload disagrees — a flaky pass must surface as a failure.
+    EXPECT_EQ(out.exitCode(), kExitDegraded);
+    EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{0});
+    EXPECT_EQ(out.cells[0].status, CellStatus::FAILED);
+    EXPECT_NE(out.cells[0].error.find("determinism"),
+              std::string::npos);
+}
+
+TEST(Isolate, AnInjectedThrowIsReportedVerbatim)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions opts;
+    opts.threads = 2;
+    opts.isolate = true;
+    const SweepOutcome out = runFaultTolerantSweep(
+        "unit_throw", jobs, opts, FaultPlan::parse("job:4:fail"));
+
+    EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{4});
+    EXPECT_EQ(out.cells[4].status, CellStatus::FAILED);
+    // The child ships the exception text through the pipe.
+    EXPECT_NE(out.cells[4].error.find("injected failure"),
+              std::string::npos);
+}

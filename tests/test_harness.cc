@@ -9,14 +9,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
+#include "sim/log.hh"
 
 using namespace ih;
 
@@ -362,4 +366,179 @@ TEST(JsonNumberField, ReadsRealPerfReportShape)
     EXPECT_DOUBLE_EQ(v, 163100589.0);
     ASSERT_TRUE(jsonNumberField(report, "wall_ms", v));
     EXPECT_DOUBLE_EQ(v, 2383.7);
+}
+
+// ---- parseShardSpec -------------------------------------------------------
+//
+// IRONHIDE_SHARD partitions a sweep across processes; a misparsed spec
+// silently re-running the whole grid on every "shard" would be worse
+// than refusing, so the parser is strict (sweepShard() turns a reject
+// into fatal()).
+
+TEST(ParseShardSpec, AcceptsCompleteIndexSlashCount)
+{
+    unsigned long i = 99, n = 99;
+    EXPECT_TRUE(parseShardSpec("T", "0/1", 4096, i, n));
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(n, 1u);
+    EXPECT_TRUE(parseShardSpec("T", "2/3", 4096, i, n));
+    EXPECT_EQ(i, 2u);
+    EXPECT_EQ(n, 3u);
+    EXPECT_TRUE(parseShardSpec("T", "4095/4096", 4096, i, n));
+    EXPECT_EQ(i, 4095u);
+    EXPECT_EQ(n, 4096u);
+}
+
+TEST(ParseShardSpec, UnsetOrEmptyFailsSilently)
+{
+    unsigned long i = 0, n = 0;
+    EXPECT_FALSE(parseShardSpec("T", nullptr, 4096, i, n));
+    EXPECT_FALSE(parseShardSpec("T", "", 4096, i, n));
+}
+
+TEST(ParseShardSpec, RejectsIncompleteSpecs)
+{
+    unsigned long i = 0, n = 0;
+    EXPECT_FALSE(parseShardSpec("T", "2/", 4096, i, n));
+    EXPECT_FALSE(parseShardSpec("T", "/3", 4096, i, n));
+    EXPECT_FALSE(parseShardSpec("T", "2", 4096, i, n));
+    EXPECT_FALSE(parseShardSpec("T", "/", 4096, i, n));
+    EXPECT_FALSE(parseShardSpec("T", "1/2/3", 4096, i, n));
+}
+
+TEST(ParseShardSpec, RejectsOutOfRangeAndSignsAndGarbage)
+{
+    unsigned long i = 0, n = 0;
+    EXPECT_FALSE(parseShardSpec("T", "1/0", 4096, i, n)); // zero shards
+    EXPECT_FALSE(parseShardSpec("T", "3/2", 4096, i, n)); // index >= count
+    EXPECT_FALSE(parseShardSpec("T", "3/3", 4096, i, n)); // index >= count
+    EXPECT_FALSE(parseShardSpec("T", "0/4097", 4096, i, n)); // over cap
+    EXPECT_FALSE(parseShardSpec("T", "-1/2", 4096, i, n));   // sign
+    EXPECT_FALSE(parseShardSpec("T", "+1/2", 4096, i, n));   // sign
+    EXPECT_FALSE(parseShardSpec("T", "1/-2", 4096, i, n));   // sign
+    EXPECT_FALSE(parseShardSpec("T", "1/2abc", 4096, i, n)); // trailing
+    EXPECT_FALSE(parseShardSpec("T", "1a/2", 4096, i, n));   // embedded
+    EXPECT_FALSE(parseShardSpec("T", " 1/2", 4096, i, n));   // whitespace
+    EXPECT_FALSE(parseShardSpec("T", "1 /2", 4096, i, n));
+    EXPECT_FALSE(
+        parseShardSpec("T", "99999999999999999999/2", 4096, i, n));
+}
+
+// ---- writeTextFile (atomic) -----------------------------------------------
+
+TEST(WriteTextFile, WritesAndOverwritesAtomically)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/ih_wtf_test.txt";
+    writeTextFile(path, "first\n");
+    EXPECT_EQ(readTextFile(path), "first\n");
+    // Overwrite goes through temp+rename: the new content lands whole.
+    writeTextFile(path, "second, longer than before\n");
+    EXPECT_EQ(readTextFile(path), "second, longer than before\n");
+    std::remove(path.c_str());
+}
+
+TEST(WriteTextFile, LeavesNoTempFileBehind)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/ih_wtf_tmpcheck.txt";
+    writeTextFile(path, "payload\n");
+    // The temp name is path + ".tmp.<pid>"; after a successful rename
+    // it must be gone.
+    const std::string tmp =
+        path + strprintf(".tmp.%ld", static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "r");
+    EXPECT_EQ(f, nullptr);
+    if (f)
+        std::fclose(f);
+    std::remove(path.c_str());
+}
+
+// ---- jsonUnsignedField ----------------------------------------------------
+//
+// Cycle counters are full uint64; the shard merge reads them back with
+// this helper precisely because a double round-trip would corrupt
+// values past 2^53.
+
+TEST(JsonUnsignedField, ReadsExactBigIntegers)
+{
+    std::uint64_t v = 0;
+    // 2^53 + 1 is the first integer a double cannot represent.
+    EXPECT_TRUE(jsonUnsignedField("{\"c\":9007199254740993}", "c", v));
+    EXPECT_EQ(v, 9007199254740993ull);
+    EXPECT_TRUE(
+        jsonUnsignedField("{\"c\":18446744073709551615}", "c", v));
+    EXPECT_EQ(v, 18446744073709551615ull);
+    EXPECT_TRUE(jsonUnsignedField("{\"a\":1,\"c\":0}", "c", v));
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(JsonUnsignedField, RejectsNonIntegersAndOverflow)
+{
+    std::uint64_t v = 0;
+    EXPECT_FALSE(jsonUnsignedField("{\"c\":-1}", "c", v));
+    EXPECT_FALSE(jsonUnsignedField("{\"c\":1.5}", "c", v));
+    EXPECT_FALSE(jsonUnsignedField("{\"c\":1e3}", "c", v));
+    EXPECT_FALSE(jsonUnsignedField("{\"c\":\"12\"}", "c", v));
+    EXPECT_FALSE(
+        jsonUnsignedField("{\"c\":18446744073709551616}", "c", v));
+}
+
+// ---- jsonStringField ------------------------------------------------------
+
+TEST(JsonStringField, ReadsAndUnescapes)
+{
+    std::string s;
+    EXPECT_TRUE(jsonStringField("{\"k\":\"plain\"}", "k", s));
+    EXPECT_EQ(s, "plain");
+    EXPECT_TRUE(
+        jsonStringField("{\"k\":\"a\\\"b\\\\c\\nd\\te\"}", "k", s));
+    EXPECT_EQ(s, "a\"b\\c\nd\te");
+    EXPECT_TRUE(jsonStringField("{\"k\":\"\"}", "k", s));
+    EXPECT_EQ(s, "");
+}
+
+TEST(JsonStringField, KeyPositionRulesApply)
+{
+    std::string s;
+    // The needle inside a string value is not a key.
+    EXPECT_TRUE(jsonStringField(
+        "{\"note\":\"k\",\"k\":\"real\"}", "k", s));
+    EXPECT_EQ(s, "real");
+    // Key bound to a number, not a string.
+    EXPECT_FALSE(jsonStringField("{\"k\":5}", "k", s));
+}
+
+// ---- jsonArrayObjects -----------------------------------------------------
+
+TEST(JsonArrayObjects, SplitsTopLevelObjects)
+{
+    const std::vector<std::string> recs = jsonArrayObjects(
+        "{\"results\":[{\"a\":1},{\"b\":{\"nested\":2}},{\"c\":\"}\"}]}",
+        "results");
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0], "{\"a\":1}");
+    EXPECT_EQ(recs[1], "{\"b\":{\"nested\":2}}");
+    // A brace inside a quoted value must not end the object.
+    EXPECT_EQ(recs[2], "{\"c\":\"}\"}");
+}
+
+TEST(JsonArrayObjects, EmptyArrayAndMissingKey)
+{
+    EXPECT_TRUE(jsonArrayObjects("{\"results\":[]}", "results").empty());
+    // A report without the key at all is corrupt, not empty: the merge
+    // path must refuse it rather than silently treat it as zero rows.
+    EXPECT_THROW(jsonArrayObjects("{\"other\":[{}]}", "results"),
+                 std::runtime_error);
+}
+
+TEST(JsonArrayObjects, ThrowsOnStructuralDamage)
+{
+    // Unterminated array/object: merging a corrupt shard report must
+    // fail loudly, never drop records.
+    EXPECT_THROW(jsonArrayObjects("{\"results\":[{\"a\":1}", "results"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        jsonArrayObjects("{\"results\":[{\"a\":1]}", "results"),
+        std::runtime_error);
 }

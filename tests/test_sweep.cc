@@ -394,3 +394,148 @@ TEST(SweepJson, ReportContainsJobsResultsAndSummary)
     EXPECT_EQ(std::count(json.begin(), json.end(), '['),
               std::count(json.begin(), json.end(), ']'));
 }
+
+// --------------------------------------------------------------------------
+// Fault-tolerant sweeps: sharding, honest degradation, the "sweep/v2"
+// report, and shard-merge reconstruction.
+// --------------------------------------------------------------------------
+
+TEST(FaultTolerantSweep, ShardsPartitionTheGridDisjointly)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    std::vector<unsigned> owners(jobs.size(), 0);
+    for (unsigned s = 0; s < 3; ++s) {
+        SweepRunOptions opts;
+        opts.threads = 2;
+        opts.shard = ShardSpec{s, 3};
+        const SweepOutcome out =
+            runFaultTolerantSweep("unit_shard", jobs, opts, FaultPlan());
+        ASSERT_EQ(out.cells.size(), jobs.size());
+        EXPECT_TRUE(out.sharded());
+        EXPECT_TRUE(out.complete());
+        EXPECT_EQ(out.exitCode(), 0);
+        std::size_t owned = 0;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (out.cells[j].status == CellStatus::SKIPPED) {
+                EXPECT_EQ(out.cells[j].attempts, 0u);
+                continue;
+            }
+            EXPECT_TRUE(out.cells[j].ok());
+            EXPECT_EQ(j % 3, s); // the canonical ownership rule
+            ++owners[j];
+            ++owned;
+        }
+        EXPECT_EQ(out.shardJobs(), owned);
+    }
+    // Disjoint union: every job ran on exactly one shard.
+    for (const unsigned c : owners)
+        EXPECT_EQ(c, 1u);
+}
+
+TEST(FaultTolerantSweep, InlineFailInjectionDegradesHonestly)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions opts;
+    opts.threads = 2;
+    const FaultPlan faults = FaultPlan::parse("job:1:fail");
+    const SweepOutcome out =
+        runFaultTolerantSweep("unit_fail", jobs, opts, faults);
+
+    // Exactly the injected cell failed; the other five survived.
+    EXPECT_FALSE(out.complete());
+    EXPECT_EQ(out.exitCode(), kExitDegraded);
+    EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{1});
+    EXPECT_EQ(out.cells[1].status, CellStatus::FAILED);
+    EXPECT_NE(out.cells[1].error.find("injected failure"),
+              std::string::npos);
+
+    // The summary covers the survivors only.
+    const SweepSummary s = summarize(out.results, out.cells);
+    std::size_t summarized = 0;
+    for (const ArchAggregate &a : s.byArch)
+        summarized += a.jobs;
+    EXPECT_EQ(summarized, jobs.size() - 1);
+
+    // ...and the v2 report says so instead of faking completeness.
+    const std::string json = sweepToJson("unit_fail", jobs, out);
+    EXPECT_NE(json.find("\"complete\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"failed_cells\":[1]"), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"error\":\"injected failure\""),
+              std::string::npos);
+}
+
+TEST(FaultTolerantSweep, V2ReportCarriesStatusAndExactCycles)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    const SweepOutcome out = runFaultTolerantSweep(
+        "unit_v2", jobs, SweepRunOptions{}, FaultPlan());
+    ASSERT_TRUE(out.complete());
+
+    const std::string json = sweepToJson("unit_v2", jobs, out);
+    EXPECT_NE(json.find("\"schema\":\"sweep/v2\""), std::string::npos);
+    EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+    // Exact integers ride alongside the derived milliseconds so a
+    // merge can rebuild results without floating-point drift.
+    EXPECT_NE(json.find("\"completion_cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"completion_ms\":"), std::string::npos);
+    // A complete unsharded run reports no failure paraphernalia.
+    EXPECT_EQ(json.find("\"failed_cells\""), std::string::npos);
+    EXPECT_EQ(json.find("\"shard\""), std::string::npos);
+}
+
+TEST(FaultTolerantSweep, MergedShardReportsMatchUnshardedBytes)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    SweepRunOptions full;
+    full.threads = 4;
+    const SweepOutcome whole =
+        runFaultTolerantSweep("unit_merge", jobs, full, FaultPlan());
+    const std::string expect = sweepToJson("unit_merge", jobs, whole);
+
+    std::vector<std::string> reports;
+    for (unsigned s = 0; s < 3; ++s) {
+        SweepRunOptions opts;
+        opts.threads = 2;
+        opts.shard = ShardSpec{s, 3};
+        const SweepOutcome part =
+            runFaultTolerantSweep("unit_merge", jobs, opts, FaultPlan());
+        reports.push_back(sweepToJson("unit_merge", jobs, part));
+    }
+
+    // The tentpole contract: recombining the shard reports yields the
+    // unsharded document byte for byte.
+    const SweepOutcome merged =
+        mergeShardReports("unit_merge", jobs, reports);
+    EXPECT_FALSE(merged.sharded());
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(sweepToJson("unit_merge", jobs, merged), expect);
+}
+
+TEST(FaultTolerantSweep, MergeRejectsIncompleteOrDuplicateShardSets)
+{
+    const std::vector<SweepJob> jobs = testJobs();
+    std::vector<std::string> reports;
+    for (unsigned s = 0; s < 3; ++s) {
+        SweepRunOptions opts;
+        opts.threads = 2;
+        opts.shard = ShardSpec{s, 3};
+        reports.push_back(sweepToJson(
+            "unit_merge", jobs,
+            runFaultTolerantSweep("unit_merge", jobs, opts, FaultPlan())));
+    }
+
+    // A shard missing → a canonical job id is absent → refuse.
+    EXPECT_THROW(mergeShardReports("unit_merge", jobs,
+                                   {reports[0], reports[1]}),
+                 std::runtime_error);
+    // The same shard twice → duplicate job ids → refuse.
+    EXPECT_THROW(
+        mergeShardReports("unit_merge", jobs,
+                          {reports[0], reports[0], reports[1], reports[2]}),
+        std::runtime_error);
+    // A report from a different sweep → refuse.
+    EXPECT_THROW(mergeShardReports("other_sweep", jobs, reports),
+                 std::runtime_error);
+}
