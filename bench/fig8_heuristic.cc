@@ -8,24 +8,25 @@
  *
  * Paper shapes: Optimal ~2.3x and Heuristic ~2.1x better than MI6, with
  * the Heuristic staying within the +/-5% variation band.
+ *
+ * The irregular (app x {MI6, 8 IRONHIDE configs}) grid is built as an
+ * explicit job vector and fans out over the SweepRunner pool
+ * (IRONHIDE_THREADS) like every figure bench, with the standard
+ * fault-tolerance flags (IRONHIDE_SHARD, --isolate, --journal,
+ * --merge) and `--json <path>` writing the "sweep/v2" report.
  */
 
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace ih;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Figure 8",
-                "Cluster-reconfiguration decision study: completion time "
-                "normalized\nto MI6 = 100 (lower is better). Paper: "
-                "Optimal ~2.3x, Heuristic ~2.1x\nbetter than MI6; "
-                "Heuristic within the +/-5% variations.");
-
     const SysConfig cfg = benchConfig();
     // Fig 8 sweeps many configurations; shrink inputs to keep it quick.
     const std::vector<AppSpec> apps = standardApps(benchScale() * 0.5);
@@ -47,30 +48,69 @@ main()
         {"-25%", SplitPolicy::OPTIMAL, -25},
     };
 
-    // MI6 reference per app.
-    std::vector<double> mi6;
-    for (const AppSpec &app : apps)
-        mi6.push_back(
-            runExperiment(app, ArchKind::MI6, cfg).run.completionMs());
+    // App-major: each app owns 9 consecutive jobs — its MI6 reference
+    // followed by the 8 IRONHIDE decision configs in table order.
+    const std::size_t stride = 1 + configs.size();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * stride);
+    for (const AppSpec &app : apps) {
+        SweepJob mi6;
+        mi6.app = app;
+        mi6.arch = ArchKind::MI6;
+        mi6.cfg = cfg;
+        jobs.push_back(std::move(mi6));
+        for (const Config &c : configs) {
+            SweepJob job;
+            job.app = app;
+            job.arch = ArchKind::IRONHIDE;
+            job.cfg = cfg;
+            job.ihopts.policy = c.policy;
+            job.ihopts.variationPct = c.variation;
+            job.tag = c.label;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    const int merged =
+        maybeMergeShardReports(argc, argv, "fig8_heuristic", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Figure 8",
+                "Cluster-reconfiguration decision study: completion time "
+                "normalized\nto MI6 = 100 (lower is better). Paper: "
+                "Optimal ~2.3x, Heuristic ~2.1x\nbetter than MI6; "
+                "Heuristic within the +/-5% variations.");
+
+    const SweepOutcome out =
+        runBenchSweep(argc, argv, "fig8_heuristic", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The per-app MI6 normalization below needs every cell; a
+        // partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "fig8_heuristic", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
 
     Table table({"configuration", "normalized completion (MI6=100)",
                  "speedup vs MI6"});
     table.addRow({"MI6", "100.0", "1.00x"});
 
-    for (const Config &c : configs) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
         std::vector<double> norm;
         for (std::size_t i = 0; i < apps.size(); ++i) {
-            IronhideOptions opts;
-            opts.policy = c.policy;
-            opts.variationPct = c.variation;
-            const ExperimentResult r =
-                runExperiment(apps[i], ArchKind::IRONHIDE, cfg, opts);
-            norm.push_back(r.run.completionMs() / mi6[i] * 100.0);
+            const double mi6 =
+                results[i * stride].run.completionMs();
+            norm.push_back(
+                results[i * stride + 1 + c].run.completionMs() / mi6 *
+                100.0);
         }
         const double g = geomean(norm);
-        table.addRow({c.label, Table::num(g, 1),
+        table.addRow({configs[c].label, Table::num(g, 1),
                       Table::num(100.0 / g) + "x"});
     }
     table.print();
-    return 0;
+
+    maybeWriteJsonReport(argc, argv, "fig8_heuristic", jobs, out);
+    return out.exitCode();
 }

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Docs-freshness gate: every environment knob the code reads must be
+# documented. Scans src/ and bench/ for IRONHIDE_*/IH_* string
+# literals (the knobs are always spelled out as full-string literals
+# at their getenv/parse site) and requires each to appear somewhere in
+# README.md or docs/. Exits non-zero naming the undocumented knobs.
+#
+# Run from the repo root: sh scripts/check_docs_knobs.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+knobs=$(grep -rhoE '"(IRONHIDE|IH)_[A-Z0-9_]+"' src bench |
+    tr -d '"' | sort -u)
+test -n "$knobs" || {
+    echo "check_docs_knobs: found no knobs at all -- broken scan?" >&2
+    exit 2
+}
+
+missing=0
+for knob in $knobs; do
+    if ! grep -rqF "$knob" README.md docs; then
+        echo "UNDOCUMENTED KNOB: $knob (referenced in src/ or bench/," \
+            "absent from README.md and docs/)" >&2
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "add the knob(s) to the README reference table (see" \
+        "'Environment knob reference')" >&2
+    exit 1
+fi
+echo "check_docs_knobs: all $(echo "$knobs" | wc -l) knobs documented"

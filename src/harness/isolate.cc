@@ -162,25 +162,24 @@ writeAll(int fd, const std::string &s)
  */
 [[noreturn]] void
 childRun(int fd, std::size_t job_id, unsigned attempt,
-         const std::function<ExperimentResult(std::size_t)> &fn,
+         const std::function<std::string(std::size_t)> &fn,
+         const std::function<std::string(const std::string &)> &perturb,
          const FaultSpec &fault)
 {
     std::string payload;
     int code = 0;
     try {
         triggerFault(fault);
-        ExperimentResult r = fn(job_id);
+        payload = fn(job_id);
         if (fault.kind == FaultKind::NONDET && attempt == 1) {
             // Emit a complete-but-perturbed payload, then die: the
             // retry's clean payload checksums differently, tripping
             // the determinism gate this fault exists to test.
-            r.run.instructions += 1;
-            writeAll(fd, serializeResult(r));
+            writeAll(fd, perturb(payload));
             ::close(fd);
             ::raise(SIGBUS);
             std::abort();
         }
-        payload = serializeResult(r);
     } catch (const std::exception &e) {
         payload = std::string("ERR|") + e.what();
         code = 3;
@@ -209,15 +208,18 @@ struct Child
 
 } // namespace
 
-std::vector<IsolatedCell>
-superviseJobs(const std::vector<std::size_t> &jobIds,
-              const std::function<ExperimentResult(std::size_t)> &fn,
-              const IsolateConfig &cfg, const FaultPlan &faults,
-              const std::function<void(std::size_t idx,
-                                       const IsolatedCell &)> &onDone)
+std::vector<RawIsolatedCell>
+superviseRawJobs(const std::vector<std::size_t> &jobIds,
+                 const std::function<std::string(std::size_t)> &fn,
+                 const std::function<bool(const std::string &)> &validate,
+                 const std::function<std::string(const std::string &)>
+                     &perturb,
+                 const IsolateConfig &cfg, const FaultPlan &faults,
+                 const std::function<void(std::size_t idx,
+                                          const RawIsolatedCell &)> &onDone)
 {
     const std::size_t n = jobIds.size();
-    std::vector<IsolatedCell> cells(n);
+    std::vector<RawIsolatedCell> cells(n);
     /** Checksum of any complete payload a prior attempt produced. */
     std::vector<std::string> prevSum(n);
 
@@ -235,7 +237,7 @@ superviseJobs(const std::vector<std::size_t> &jobIds,
             fatal("--isolate: fork() failed: %s", std::strerror(errno));
         if (pid == 0) {
             ::close(fds[0]);
-            childRun(fds[1], jobIds[idx], attempt, fn,
+            childRun(fds[1], jobIds[idx], attempt, fn, perturb,
                      faults.at(jobIds[idx]));
         }
         ::close(fds[1]);
@@ -255,11 +257,10 @@ superviseJobs(const std::vector<std::size_t> &jobIds,
     // Terminal bookkeeping for one finished attempt; returns true when
     // the cell is done (success or retries exhausted), false to retry.
     const auto settle = [&](const Child &c, int status) {
-        IsolatedCell &cell = cells[c.idx];
+        RawIsolatedCell &cell = cells[c.idx];
         cell.attempts = c.attempt;
 
-        ExperimentResult r;
-        const bool decodable = deserializeResult(c.buf, r);
+        const bool decodable = validate(c.buf);
         const std::string sum =
             decodable ? checksumHex(c.buf) : std::string();
 
@@ -296,7 +297,7 @@ superviseJobs(const std::vector<std::size_t> &jobIds,
             cell.ok = true;
             cell.timedOut = false;
             cell.error.clear();
-            cell.result = std::move(r);
+            cell.payload = c.buf;
             return true;
         }
 
@@ -378,6 +379,49 @@ superviseJobs(const std::vector<std::size_t> &jobIds,
             }
         }
     }
+    return cells;
+}
+
+std::vector<IsolatedCell>
+superviseJobs(const std::vector<std::size_t> &jobIds,
+              const std::function<ExperimentResult(std::size_t)> &fn,
+              const IsolateConfig &cfg, const FaultPlan &faults,
+              const std::function<void(std::size_t idx,
+                                       const IsolatedCell &)> &onDone)
+{
+    std::vector<IsolatedCell> cells(jobIds.size());
+    // The raw supervisor invokes its onDone exactly once per cell, so
+    // filling the typed vector there covers every input.
+    superviseRawJobs(
+        jobIds,
+        [&fn](std::size_t job) { return serializeResult(fn(job)); },
+        [](const std::string &payload) {
+            ExperimentResult r;
+            return deserializeResult(payload, r);
+        },
+        [](const std::string &payload) {
+            ExperimentResult r;
+            const bool ok = deserializeResult(payload, r);
+            IH_ASSERT(ok, "NONDET perturbation of an undecodable payload");
+            r.run.instructions += 1;
+            return serializeResult(r);
+        },
+        cfg, faults,
+        [&](std::size_t idx, const RawIsolatedCell &raw) {
+            IsolatedCell &cell = cells[idx];
+            cell.ok = raw.ok;
+            cell.timedOut = raw.timedOut;
+            cell.attempts = raw.attempts;
+            cell.error = raw.error;
+            if (raw.ok) {
+                const bool ok =
+                    deserializeResult(raw.payload, cell.result);
+                IH_ASSERT(ok,
+                          "validated payload failed to decode");
+            }
+            if (onDone)
+                onDone(idx, cell);
+        });
     return cells;
 }
 

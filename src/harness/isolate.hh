@@ -109,6 +109,39 @@ struct IsolatedCell
     ExperimentResult result;        ///< valid when ok
 };
 
+/** Terminal outcome of one supervised raw-payload cell. */
+struct RawIsolatedCell
+{
+    bool ok = false;
+    bool timedOut = false;
+    unsigned attempts = 0;
+    std::string error;   ///< deterministic failure text
+    std::string payload; ///< passes the validator when ok
+};
+
+/**
+ * The raw-payload supervisor underneath superviseJobs(): @p fn returns
+ * job i's serialized payload, @p validate says whether a drained pipe
+ * buffer is one complete well-formed payload, and @p perturb builds
+ * the complete-but-wrong payload the NONDET fault emits on attempt 1.
+ * A perturbed payload MUST still pass @p validate — an undecodable
+ * perturbation would never have its checksum recorded, and the
+ * determinism gate NONDET exists to trip would stay silent. Same
+ * fork/pipe/poll machinery, timeout, retry and retry-checksum
+ * semantics (and the same single-threaded-caller requirement) as
+ * superviseJobs(). Drivers with their own payload schema (the serving
+ * bench's load ladders) isolate through this directly.
+ */
+std::vector<RawIsolatedCell>
+superviseRawJobs(const std::vector<std::size_t> &jobIds,
+                 const std::function<std::string(std::size_t)> &fn,
+                 const std::function<bool(const std::string &)> &validate,
+                 const std::function<std::string(const std::string &)>
+                     &perturb,
+                 const IsolateConfig &cfg, const FaultPlan &faults,
+                 const std::function<void(std::size_t idx,
+                                          const RawIsolatedCell &)> &onDone);
+
 /**
  * Run @p fn(jobIds[i]) for every i, each attempt in a forked child
  * under @p cfg's timeout/retry policy, applying @p faults by job id.
@@ -117,6 +150,8 @@ struct IsolatedCell
  * journaling), in completion order. Must be called from a process
  * that is not running other threads (the sweep layer guarantees this:
  * --isolate replaces the thread pool, children are the parallelism).
+ * This is superviseRawJobs() instantiated with the experiment wire
+ * format.
  */
 std::vector<IsolatedCell>
 superviseJobs(const std::vector<std::size_t> &jobIds,

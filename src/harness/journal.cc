@@ -173,24 +173,27 @@ checksumHex(const std::string &payload)
 }
 
 // --------------------------------------------------------------------------
-// SweepJournal
+// PayloadJournal
 // --------------------------------------------------------------------------
 
-SweepJournal::SweepJournal(std::string path, std::string sweep_id,
-                           std::size_t jobs, ShardSpec shard)
+PayloadJournal::PayloadJournal(std::string path, std::string sweep_id,
+                               std::size_t jobs, ShardSpec shard,
+                               Validator validate)
     : path_(std::move(path)), sweepId_(std::move(sweep_id)), jobs_(jobs),
-      shard_(shard)
+      shard_(shard), validate_(std::move(validate))
 {
+    IH_ASSERT(validate_ != nullptr,
+              "journal '%s' needs a payload validator", path_.c_str());
 }
 
-SweepJournal::~SweepJournal()
+PayloadJournal::~PayloadJournal()
 {
     if (f_)
         std::fclose(f_);
 }
 
 std::string
-SweepJournal::headerLine() const
+PayloadJournal::headerLine() const
 {
     JsonWriter w;
     w.beginObject();
@@ -202,8 +205,8 @@ SweepJournal::headerLine() const
     return w.str() + "\n";
 }
 
-std::map<std::size_t, SweepJournal::Entry>
-SweepJournal::open()
+std::map<std::size_t, PayloadJournal::Entry>
+PayloadJournal::open()
 {
     IH_ASSERT(!f_, "journal '%s' opened twice", path_.c_str());
     std::map<std::size_t, Entry> done;
@@ -276,10 +279,10 @@ SweepJournal::open()
                 reason = "unparseable record";
             } else if (checksumHex(payload) != sum) {
                 reason = "checksum mismatch";
-            } else if (!deserializeResult(payload, e.result)) {
-                reason = "undecodable payload";
             } else if (job >= jobs_ || !shard_.owns(job)) {
                 reason = "job id outside this sweep/shard";
+            } else if (!validate_(job, payload)) {
+                reason = "undecodable payload";
             }
             if (!reason.empty()) {
                 if (last) {
@@ -297,10 +300,11 @@ SweepJournal::open()
             }
             jsonUnsignedField(line, "attempts", attempts);
             e.attempts = static_cast<unsigned>(attempts);
+            e.payload = std::move(payload);
             const auto it = done.find(job);
             if (it != done.end()) {
-                if (checksumHex(serializeResult(it->second.result)) !=
-                    checksumHex(payload))
+                if (checksumHex(it->second.payload) !=
+                    checksumHex(e.payload))
                     throw JournalError(strprintf(
                         "journal '%s': job %" PRIu64
                         " recorded twice with different checksums "
@@ -320,11 +324,10 @@ SweepJournal::open()
 }
 
 void
-SweepJournal::append(std::size_t job, const ExperimentResult &r,
-                     unsigned attempts)
+PayloadJournal::append(std::size_t job, const std::string &payload,
+                       unsigned attempts)
 {
     IH_ASSERT(f_, "journal '%s' append before open", path_.c_str());
-    const std::string payload = serializeResult(r);
     JsonWriter w;
     w.beginObject();
     w.key("job").value(std::uint64_t{job});
@@ -339,6 +342,41 @@ SweepJournal::append(std::size_t job, const ExperimentResult &r,
     if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() ||
         std::fflush(f_) != 0 || ::fsync(::fileno(f_)) != 0)
         fatal("journal '%s': durable append failed", path_.c_str());
+}
+
+// --------------------------------------------------------------------------
+// SweepJournal
+// --------------------------------------------------------------------------
+
+SweepJournal::SweepJournal(std::string path, std::string sweep_id,
+                           std::size_t jobs, ShardSpec shard)
+    : raw_(std::move(path), std::move(sweep_id), jobs, shard,
+           [](std::size_t, const std::string &payload) {
+               ExperimentResult r;
+               return deserializeResult(payload, r);
+           })
+{
+}
+
+std::map<std::size_t, SweepJournal::Entry>
+SweepJournal::open()
+{
+    std::map<std::size_t, Entry> done;
+    for (auto &[job, raw] : raw_.open()) {
+        Entry e;
+        e.attempts = raw.attempts;
+        const bool ok = deserializeResult(raw.payload, e.result);
+        IH_ASSERT(ok, "journal payload validated but failed to decode");
+        done.emplace(job, std::move(e));
+    }
+    return done;
+}
+
+void
+SweepJournal::append(std::size_t job, const ExperimentResult &r,
+                     unsigned attempts)
+{
+    raw_.append(job, serializeResult(r), attempts);
 }
 
 } // namespace ih

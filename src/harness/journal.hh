@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -75,24 +76,35 @@ class JournalError : public std::runtime_error
 };
 
 /**
- * One sweep's journal file. open() loads (or bootstraps) the file and
- * returns the completed entries; append() records one more completed
- * job durably. Appends are thread-safe (the inline sweep path calls
- * from worker threads).
+ * The raw-payload journal underneath SweepJournal: the same file
+ * format, header validation and corruption contract, but records are
+ * opaque payload strings vetted by a caller-supplied validator instead
+ * of the experiment wire format. Sweep-like drivers with their own
+ * payload schema (e.g. the open-loop serving bench's load ladders)
+ * journal through this directly; the journal never needs to learn
+ * their field list. open() loads (or bootstraps) the file and returns
+ * the completed entries; append() records one more completed job
+ * durably. Appends are thread-safe (the inline sweep path calls from
+ * worker threads).
  */
-class SweepJournal
+class PayloadJournal
 {
   public:
-    SweepJournal(std::string path, std::string sweep_id,
-                 std::size_t jobs, ShardSpec shard);
-    ~SweepJournal();
+    /** Is @p payload a well-formed record of canonical job @p job? A
+     *  record failing this counts as damage (see the contract above). */
+    using Validator =
+        std::function<bool(std::size_t job, const std::string &payload)>;
 
-    SweepJournal(const SweepJournal &) = delete;
-    SweepJournal &operator=(const SweepJournal &) = delete;
+    PayloadJournal(std::string path, std::string sweep_id,
+                   std::size_t jobs, ShardSpec shard, Validator validate);
+    ~PayloadJournal();
+
+    PayloadJournal(const PayloadJournal &) = delete;
+    PayloadJournal &operator=(const PayloadJournal &) = delete;
 
     struct Entry
     {
-        ExperimentResult result;
+        std::string payload;
         unsigned attempts = 1;
     };
 
@@ -105,7 +117,7 @@ class SweepJournal
     std::map<std::size_t, Entry> open();
 
     /** Durably append one completed job (write + flush + fsync). */
-    void append(std::size_t job, const ExperimentResult &r,
+    void append(std::size_t job, const std::string &payload,
                 unsigned attempts);
 
   private:
@@ -115,8 +127,37 @@ class SweepJournal
     std::string sweepId_;
     std::size_t jobs_;
     ShardSpec shard_;
+    Validator validate_;
     std::FILE *f_ = nullptr;
     std::mutex mtx_;
+};
+
+/**
+ * One experiment sweep's journal: PayloadJournal instantiated with the
+ * experiment wire format, trading payload strings for typed
+ * ExperimentResults at the API boundary.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal(std::string path, std::string sweep_id,
+                 std::size_t jobs, ShardSpec shard);
+
+    struct Entry
+    {
+        ExperimentResult result;
+        unsigned attempts = 1;
+    };
+
+    /** PayloadJournal::open(), each payload decoded. */
+    std::map<std::size_t, Entry> open();
+
+    /** PayloadJournal::append() of serializeResult(@p r). */
+    void append(std::size_t job, const ExperimentResult &r,
+                unsigned attempts);
+
+  private:
+    PayloadJournal raw_;
 };
 
 } // namespace ih

@@ -1,0 +1,87 @@
+#include "harness/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace ih
+{
+
+void
+PercentileAccumulator::add(Cycle sample)
+{
+    // Stay sorted for the common append-in-order case (FIFO serving
+    // finishes are monotone) so quantile reads rarely pay a sort.
+    if (sorted_ && !samples_.empty() && sample < samples_.back())
+        sorted_ = false;
+    samples_.push_back(sample);
+    sum_ += static_cast<double>(sample);
+}
+
+void
+PercentileAccumulator::merge(const PercentileAccumulator &other)
+{
+    if (other.samples_.empty())
+        return;
+    sorted_ = false;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+}
+
+void
+PercentileAccumulator::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+Cycle
+PercentileAccumulator::min() const
+{
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    return samples_.front();
+}
+
+Cycle
+PercentileAccumulator::max() const
+{
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+PercentileAccumulator::mean() const
+{
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+}
+
+Cycle
+PercentileAccumulator::quantile(double q) const
+{
+    IH_ASSERT(q >= 0.0 && q <= 1.0, "quantile(%f) out of [0,1]", q);
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    // Nearest rank: ceil(q * N), clamped to [1, N]; rank r lives at
+    // index r - 1. Exact integer answers, no interpolation.
+    const double n = static_cast<double>(samples_.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > samples_.size())
+        rank = samples_.size();
+    return samples_[rank - 1];
+}
+
+} // namespace ih

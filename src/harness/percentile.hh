@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Exact latency-percentile accumulation for the open-loop serving
+ * harness.
+ *
+ * The accumulator is a plain sorted reservoir: every sample is kept,
+ * quantiles are read by nearest rank off the sorted vector, and merging
+ * two accumulators concatenates their reservoirs. Nothing is
+ * approximated — no sketches, no interpolation — so the reported
+ * p50/p99/p999 are pure functions of the sample multiset and therefore
+ * byte-identical no matter how the samples were produced or merged
+ * (the determinism contract every bench report lives under). The
+ * session counts a serving cell accumulates are small (thousands), so
+ * exactness costs nothing that matters.
+ */
+
+#ifndef IH_HARNESS_PERCENTILE_HH
+#define IH_HARNESS_PERCENTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ih
+{
+
+/** Exact, mergeable percentile accumulator over cycle samples. */
+class PercentileAccumulator
+{
+  public:
+    /** Record one sample. */
+    void add(Cycle sample);
+
+    /**
+     * Fold @p other's samples into this accumulator. Merging is
+     * associative and commutative: any merge tree over the same sample
+     * multiset yields identical quantiles.
+     */
+    void merge(const PercentileAccumulator &other);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Smallest / largest sample; 0 on an empty accumulator. */
+    Cycle min() const;
+    Cycle max() const;
+
+    /** Arithmetic mean; 0.0 on an empty accumulator. */
+    double mean() const;
+
+    /**
+     * Nearest-rank quantile: the smallest sample s such that at least
+     * ceil(q * count) samples are <= s. quantile(0) is the minimum,
+     * quantile(1) the maximum; @p q outside [0, 1] is a caller bug
+     * (asserted). Returns 0 on an empty accumulator — serving reports
+     * render empty cells as zeros rather than poisoning the document.
+     */
+    Cycle quantile(double q) const;
+
+  private:
+    /** Sort lazily: adds/merges only mark dirty. */
+    void ensureSorted() const;
+
+    mutable std::vector<Cycle> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+};
+
+} // namespace ih
+
+#endif // IH_HARNESS_PERCENTILE_HH

@@ -451,8 +451,11 @@ cellStatusName(CellStatus status, unsigned attempts)
     return "?";
 }
 
+namespace
+{
+
 std::size_t
-SweepOutcome::shardJobs() const
+cellsOwned(const std::vector<CellOutcome> &cells)
 {
     std::size_t n = 0;
     for (const CellOutcome &c : cells)
@@ -462,7 +465,7 @@ SweepOutcome::shardJobs() const
 }
 
 bool
-SweepOutcome::complete() const
+cellsComplete(const std::vector<CellOutcome> &cells)
 {
     for (const CellOutcome &c : cells)
         if (c.status == CellStatus::FAILED ||
@@ -472,7 +475,7 @@ SweepOutcome::complete() const
 }
 
 std::vector<std::size_t>
-SweepOutcome::failedCells() const
+cellsFailed(const std::vector<CellOutcome> &cells)
 {
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < cells.size(); ++i)
@@ -480,6 +483,44 @@ SweepOutcome::failedCells() const
             cells[i].status == CellStatus::TIMEOUT)
             out.push_back(i);
     return out;
+}
+
+} // namespace
+
+std::size_t
+SweepOutcome::shardJobs() const
+{
+    return cellsOwned(cells);
+}
+
+bool
+SweepOutcome::complete() const
+{
+    return cellsComplete(cells);
+}
+
+std::vector<std::size_t>
+SweepOutcome::failedCells() const
+{
+    return cellsFailed(cells);
+}
+
+std::size_t
+PayloadOutcome::shardJobs() const
+{
+    return cellsOwned(cells);
+}
+
+bool
+PayloadOutcome::complete() const
+{
+    return cellsComplete(cells);
+}
+
+std::vector<std::size_t>
+PayloadOutcome::failedCells() const
+{
+    return cellsFailed(cells);
 }
 
 ShardSpec
@@ -528,15 +569,18 @@ sweepRunFromArgs(int argc, char **argv)
     return o;
 }
 
-SweepOutcome
-runFaultTolerantSweep(const std::string &sweep_id,
-                      const std::vector<SweepJob> &jobs,
-                      const SweepRunOptions &opts, const FaultPlan &faults)
+PayloadOutcome
+runFaultTolerantPayloadSweep(
+    const std::string &sweep_id, std::size_t jobs,
+    const std::function<std::string(std::size_t)> &fn,
+    const std::function<bool(const std::string &)> &validate,
+    const std::function<std::string(const std::string &)> &perturb,
+    const SweepRunOptions &opts, const FaultPlan &faults)
 {
-    const std::size_t n = jobs.size();
-    SweepOutcome out;
+    const std::size_t n = jobs;
+    PayloadOutcome out;
     out.shard = opts.shard;
-    out.results.resize(n);
+    out.payloads.resize(n);
     out.cells.resize(n);
 
     std::vector<std::size_t> pending;
@@ -549,11 +593,15 @@ runFaultTolerantSweep(const std::string &sweep_id,
         }
     }
 
-    std::unique_ptr<SweepJournal> journal;
+    std::unique_ptr<PayloadJournal> journal;
     if (!opts.journalPath.empty()) {
-        journal = std::make_unique<SweepJournal>(opts.journalPath,
-                                                 sweep_id, n, opts.shard);
-        std::map<std::size_t, SweepJournal::Entry> done = journal->open();
+        journal = std::make_unique<PayloadJournal>(
+            opts.journalPath, sweep_id, n, opts.shard,
+            [&validate](std::size_t, const std::string &payload) {
+                return validate(payload);
+            });
+        std::map<std::size_t, PayloadJournal::Entry> done =
+            journal->open();
         std::vector<std::size_t> still;
         still.reserve(pending.size());
         for (const std::size_t i : pending) {
@@ -562,7 +610,7 @@ runFaultTolerantSweep(const std::string &sweep_id,
                 still.push_back(i);
                 continue;
             }
-            out.results[i] = std::move(it->second.result);
+            out.payloads[i] = std::move(it->second.payload);
             out.cells[i].attempts = it->second.attempts;
         }
         out.resumed = pending.size() - still.size();
@@ -579,24 +627,19 @@ runFaultTolerantSweep(const std::string &sweep_id,
         icfg.workers = SweepRunner(opts.threads).threads();
         icfg.timeoutMs = opts.timeoutMs;
         icfg.retries = opts.retries;
-        std::vector<IsolatedCell> cells = superviseJobs(
-            pending,
-            [&](std::size_t job) {
-                const SweepJob &j = jobs[job];
-                return runExperiment(j.app, j.arch, j.cfg, j.ihopts);
-            },
-            icfg, faults,
-            [&](std::size_t k, const IsolatedCell &cell) {
+        std::vector<RawIsolatedCell> cells = superviseRawJobs(
+            pending, fn, validate, perturb, icfg, faults,
+            [&](std::size_t k, const RawIsolatedCell &cell) {
                 if (journal && cell.ok)
-                    journal->append(pending[k], cell.result,
+                    journal->append(pending[k], cell.payload,
                                     cell.attempts);
             });
         for (std::size_t k = 0; k < pending.size(); ++k) {
             const std::size_t i = pending[k];
-            IsolatedCell &c = cells[k];
+            RawIsolatedCell &c = cells[k];
             out.cells[i].attempts = c.attempts;
             if (c.ok) {
-                out.results[i] = std::move(c.result);
+                out.payloads[i] = std::move(c.payload);
             } else {
                 out.cells[i].status = c.timedOut ? CellStatus::TIMEOUT
                                                  : CellStatus::FAILED;
@@ -612,13 +655,11 @@ runFaultTolerantSweep(const std::string &sweep_id,
         parallelForIndex(pending.size(), runner.threads(),
                          [&](std::size_t k) {
                              const std::size_t i = pending[k];
-                             const SweepJob &j = jobs[i];
                              try {
                                  triggerFault(faults.at(i));
-                                 out.results[i] = runExperiment(
-                                     j.app, j.arch, j.cfg, j.ihopts);
+                                 out.payloads[i] = fn(i);
                                  if (journal)
-                                     journal->append(i, out.results[i],
+                                     journal->append(i, out.payloads[i],
                                                      1);
                              } catch (const std::exception &e) {
                                  out.cells[i].status =
@@ -626,6 +667,48 @@ runFaultTolerantSweep(const std::string &sweep_id,
                                  out.cells[i].error = e.what();
                              }
                          });
+    }
+    return out;
+}
+
+SweepOutcome
+runFaultTolerantSweep(const std::string &sweep_id,
+                      const std::vector<SweepJob> &jobs,
+                      const SweepRunOptions &opts, const FaultPlan &faults)
+{
+    // The experiment wire format round-trips results exactly, so
+    // threading every cell through serialize/deserialize here changes
+    // no observable byte (tests/test_faults.cc pins the round trip).
+    PayloadOutcome p = runFaultTolerantPayloadSweep(
+        sweep_id, jobs.size(),
+        [&jobs](std::size_t i) {
+            const SweepJob &j = jobs[i];
+            return serializeResult(
+                runExperiment(j.app, j.arch, j.cfg, j.ihopts));
+        },
+        [](const std::string &payload) {
+            ExperimentResult r;
+            return deserializeResult(payload, r);
+        },
+        [](const std::string &payload) {
+            ExperimentResult r;
+            const bool ok = deserializeResult(payload, r);
+            IH_ASSERT(ok, "NONDET perturbation of an undecodable payload");
+            r.run.instructions += 1;
+            return serializeResult(r);
+        },
+        opts, faults);
+
+    SweepOutcome out;
+    out.shard = p.shard;
+    out.resumed = p.resumed;
+    out.cells = std::move(p.cells);
+    out.results.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!out.cells[i].ok())
+            continue;
+        const bool ok = deserializeResult(p.payloads[i], out.results[i]);
+        IH_ASSERT(ok, "validated payload failed to decode");
     }
     return out;
 }

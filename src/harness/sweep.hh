@@ -285,6 +285,49 @@ struct SweepOutcome
 };
 
 /**
+ * The raw-payload sibling of SweepOutcome: one opaque payload string
+ * per canonical job, parallel to the cell outcomes. A payload is
+ * meaningful only when its cell is OK.
+ */
+struct PayloadOutcome
+{
+    std::vector<std::string> payloads;
+    std::vector<CellOutcome> cells;
+    ShardSpec shard;
+    std::size_t resumed = 0; ///< cells satisfied from the journal
+
+    bool sharded() const { return shard.active(); }
+    /** Cells this shard owns (everything not SKIPPED). */
+    std::size_t shardJobs() const;
+    /** Did every owned cell finish OK? */
+    bool complete() const;
+    /** Canonical ids of owned FAILED/TIMEOUT cells, ascending. */
+    std::vector<std::size_t> failedCells() const;
+    /** 0 when complete, kExitDegraded otherwise. */
+    int exitCode() const { return complete() ? 0 : kExitDegraded; }
+};
+
+/**
+ * The generic core of the fault-tolerant sweep path: shard
+ * partitioning, journaled resume, inline-or-isolated execution and
+ * fault injection over @p jobs cells whose results are caller-defined
+ * payload strings. @p fn computes job i's payload, @p validate
+ * recognizes a complete well-formed payload (journal records and
+ * child pipes are vetted with it), and @p perturb builds the NONDET
+ * fault's complete-but-wrong attempt-1 payload (it must still pass
+ * @p validate — see superviseRawJobs). runFaultTolerantSweep() is
+ * this instantiated with the experiment wire format; drivers with
+ * their own schema (the serving bench's load ladders) call it
+ * directly and keep shard/--journal/--isolate for free.
+ */
+PayloadOutcome runFaultTolerantPayloadSweep(
+    const std::string &sweep_id, std::size_t jobs,
+    const std::function<std::string(std::size_t)> &fn,
+    const std::function<bool(const std::string &)> &validate,
+    const std::function<std::string(const std::string &)> &perturb,
+    const SweepRunOptions &opts, const FaultPlan &faults);
+
+/**
  * Run @p jobs under @p opts: skip cells other shards own, satisfy
  * journaled cells without re-running them, execute the rest inline
  * (exceptions caught per cell) or under the --isolate supervisor

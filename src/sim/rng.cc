@@ -51,6 +51,16 @@ Rng::next()
     return result;
 }
 
+double
+Rng::nextExponential(double mean)
+{
+    IH_ASSERT(mean > 0.0, "nextExponential(%f) needs a positive mean",
+              mean);
+    // Inverse transform on u in [0, 1): -ln(1 - u) is finite because
+    // nextDouble() never returns 1.0.
+    return -std::log(1.0 - nextDouble()) * mean;
+}
+
 std::uint64_t
 Rng::nextRange(std::uint64_t bound)
 {

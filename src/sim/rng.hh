@@ -40,6 +40,13 @@ class Rng
     /** Bernoulli draw with probability @p p of true. */
     bool chance(double p);
 
+    /**
+     * Exponential draw with mean @p mean (> 0) via inverse transform;
+     * the inter-arrival sampler of the Poisson arrival process in
+     * harness/arrival. Deterministic given the generator state.
+     */
+    double nextExponential(double mean);
+
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>
     void
