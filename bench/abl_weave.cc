@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation: bound-weave engine timing error vs quantum length.
+ *
+ * The weave engine is a different timing model from the serial
+ * reference (src/cpu/exec_engine_weave.cc lists the deliberate
+ * divergences): coherence and contention inside one quantum resolve at
+ * the quantum barrier, so a longer quantum defers more cross-thread
+ * interaction and drifts further from the serial timings. This bench
+ * quantifies that drift. Every (app, arch) cell runs once on the
+ * serial engine and once per weave quantum length, and the table
+ * reports each weave completion's signed error against its serial
+ * reference. The headline is the worst absolute error at the default
+ * quantum (SysConfig::weaveQuantum) — the figure to quote when asking
+ * "how much timing fidelity does the parallel engine cost?".
+ *
+ * The weave results themselves are byte-identical at any
+ * IRONHIDE_WEAVE_WORKERS value (tests/test_weave.cc pins this; the CI
+ * weave leg diffs full reports across worker counts), so the error
+ * measured here is a property of the quantum length alone, never of
+ * the host.
+ *
+ * `--json <path>` writes the standard sweep report.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+using namespace ih;
+
+namespace
+{
+
+/** Weave quantum ladder; the middle entry is the config default. */
+const Cycle QUANTA[] = {512, 2048, 4096, 8192, 32768};
+constexpr std::size_t NQ = sizeof(QUANTA) / sizeof(QUANTA[0]);
+constexpr std::size_t GROUP = 1 + NQ; ///< serial + ladder per cell
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SysConfig base = benchConfig();
+    const double scale = benchScale() * 0.5;
+    // One app per sharing flavour: graph (irregular, cross-thread
+    // traffic), convnet (streaming reuse), OS-level (kernel-style
+    // churn).
+    const std::vector<AppSpec> apps = {findApp("<SSSP, GRAPH>", scale),
+                                      findApp("<ALEXNET, VISION>", scale),
+                                      findApp("<MEMCACHED, OS>", scale)};
+
+    // Irregular grid (per-job engine/quantum overrides), so the jobs
+    // are constructed directly: app-major, then arch, then the serial
+    // reference followed by the quantum ladder.
+    IronhideOptions ihopts;
+    ihopts.policy = SplitPolicy::STATIC_HALF; // no probe runs: the
+                                              // error measured is the
+                                              // phase engine's alone
+    std::vector<SweepJob> jobs;
+    for (const AppSpec &app : apps) {
+        for (ArchKind arch : {ArchKind::INSECURE, ArchKind::IRONHIDE}) {
+            SweepJob ref;
+            ref.app = app;
+            ref.arch = arch;
+            ref.cfg = base;
+            ref.cfg.engine = EngineKind::SERIAL;
+            ref.ihopts = ihopts;
+            ref.tag = "serial";
+            jobs.push_back(ref);
+            for (const Cycle q : QUANTA) {
+                SweepJob w = ref;
+                w.cfg.engine = EngineKind::WEAVE;
+                w.cfg.weaveQuantum = q;
+                w.tag = strprintf("weave q=%llu",
+                                  static_cast<unsigned long long>(q));
+                jobs.push_back(w);
+            }
+        }
+    }
+
+    const int merged =
+        maybeMergeShardReports(argc, argv, "abl_weave", jobs);
+    if (merged >= 0)
+        return merged;
+
+    printBanner("Ablation — bound-weave timing error",
+                "Completion time of the domain-parallel weave engine "
+                "vs the serial\nreference, per quantum length: how much "
+                "timing fidelity does deferring\nintra-quantum "
+                "interaction to the barrier cost?");
+
+    const SweepOutcome out = runBenchSweep(argc, argv, "abl_weave", jobs);
+    if (!out.complete() || out.sharded()) {
+        // The error columns below need the serial reference of every
+        // group; a partial run already reported its cells above.
+        maybeWriteJsonReport(argc, argv, "abl_weave", jobs, out);
+        return out.exitCode();
+    }
+    const std::vector<ExperimentResult> &results = out.results;
+
+    Table table({"application", "arch", "engine", "completion(ms)",
+                 "err vs serial"});
+    double worst_default = 0.0; ///< |err| at the default quantum
+    double worst_any = 0.0;     ///< |err| across the whole ladder
+    for (std::size_t g = 0; g < jobs.size(); g += GROUP) {
+        const double ref = results[g].run.completionMs();
+        table.addRow({results[g].app, results[g].arch, jobs[g].tag,
+                      Table::num(ref, 3), "-"});
+        for (std::size_t k = 1; k < GROUP; ++k) {
+            const double ms = results[g + k].run.completionMs();
+            const double err = safeDiv(ms - ref, ref);
+            table.addRow({results[g + k].app, results[g + k].arch,
+                          jobs[g + k].tag, Table::num(ms, 3),
+                          Table::pct(err)});
+            if (std::fabs(err) > worst_any)
+                worst_any = std::fabs(err);
+            if (QUANTA[k - 1] == base.weaveQuantum &&
+                std::fabs(err) > worst_default)
+                worst_default = std::fabs(err);
+        }
+        table.addSeparator();
+    }
+    table.print();
+
+    std::printf("\nHeadline: worst |completion error| %.2f%% at the "
+                "default quantum (%llu cycles);\n%.2f%% across the "
+                "whole ladder (512..32768).\n",
+                100.0 * worst_default,
+                static_cast<unsigned long long>(base.weaveQuantum),
+                100.0 * worst_any);
+
+    maybeWriteJsonReport(argc, argv, "abl_weave", jobs, out);
+    return 0;
+}

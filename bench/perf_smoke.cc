@@ -18,8 +18,8 @@
  *   {
  *     "schema": "BENCH_perf/v1",
  *     "bench": "perf_smoke",
- *     "scale": ..., "threads": ..., "domains": ..., "repeats": ...,
- *     "jobs": ...,
+ *     "scale": ..., "threads": ..., "domains": ..., "engine": ...,
+ *     "repeats": ..., "jobs": ...,
  *     "wall_ms": ..., "wall_ms_best": ..., "jobs_per_sec": ...,
  *     "sim_completion_cycles_total": ...,  // determinism checksum
  *     "sim_instructions_total": ...,
@@ -62,6 +62,7 @@
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "harness/weave.hh"
 #include "sim/log.hh"
 
 using namespace ih;
@@ -129,9 +130,10 @@ flagPath(int argc, char **argv, const char *flag)
  * in the job UI without digging through artifacts.
  */
 void
-appendStepSummary(unsigned domains, double wall_ms_best, double base_wall,
-                  double delta_ms, double delta_pct, double tolerance,
-                  bool checksum_ok, int rc)
+appendStepSummary(const std::string &engine, unsigned domains,
+                  double wall_ms_best, double base_wall, double delta_ms,
+                  double delta_pct, double tolerance, bool checksum_ok,
+                  int rc)
 {
     const char *summary = std::getenv("GITHUB_STEP_SUMMARY");
     if (!summary || !*summary)
@@ -141,21 +143,22 @@ appendStepSummary(unsigned domains, double wall_ms_best, double base_wall,
         warn("cannot append to GITHUB_STEP_SUMMARY '%s'", summary);
         return;
     }
-    // The domains count labels the leg: the serial and the
-    // IRONHIDE_DOMAINS=N gate runs land in the same step summary, and
-    // the parallel leg's wall history is what decides when its gate
-    // gets promoted from advisory (see ROADMAP.md).
+    // The engine and domains count label the leg: the serial, the
+    // IRONHIDE_DOMAINS=N and the IRONHIDE_ENGINE=weave gate runs all
+    // land in the same step summary (the weave label carries its
+    // worker count), and each leg's wall history is what decides when
+    // its gate gets promoted from advisory (see ROADMAP.md).
     std::fprintf(
         f,
-        "### perf_smoke gate (domains=%u): %s\n\n"
-        "| domains | wall_ms_best | baseline | delta | tolerance "
-        "| checksum |\n"
-        "| --- | --- | --- | --- | --- | --- |\n"
-        "| %u | %.1f ms | %.1f ms | %+.1f ms (%+.1f%%) | +%.0f%% "
+        "### perf_smoke gate (engine=%s, domains=%u): %s\n\n"
+        "| engine | domains | wall_ms_best | baseline | delta "
+        "| tolerance | checksum |\n"
+        "| --- | --- | --- | --- | --- | --- | --- |\n"
+        "| %s | %u | %.1f ms | %.1f ms | %+.1f ms (%+.1f%%) | +%.0f%% "
         "| %s |\n\n",
-        domains, rc == 0 ? "pass" : "FAIL", domains, wall_ms_best,
-        base_wall, delta_ms, delta_pct, tolerance * 100.0,
-        checksum_ok ? "ok" : "DRIFTED");
+        engine.c_str(), domains, rc == 0 ? "pass" : "FAIL",
+        engine.c_str(), domains, wall_ms_best, base_wall, delta_ms,
+        delta_pct, tolerance * 100.0, checksum_ok ? "ok" : "DRIFTED");
     std::fclose(f);
 }
 
@@ -164,8 +167,9 @@ appendStepSummary(unsigned domains, double wall_ms_best, double base_wall,
  * @return process exit code (0 pass, 1 fail).
  */
 int
-gateAgainstBaseline(const char *path, unsigned domains,
-                    double wall_ms_best, std::uint64_t completion_total)
+gateAgainstBaseline(const char *path, const std::string &engine,
+                    unsigned domains, double wall_ms_best,
+                    std::uint64_t completion_total)
 {
     const std::string base = readTextFile(path);
     double base_wall = 0.0;
@@ -202,7 +206,7 @@ gateAgainstBaseline(const char *path, unsigned domains,
                 "delta %+.1f ms / %+.1f%%, limit %.1f)\n",
                 rc == 0 ? "pass" : "FAIL", wall_ms_best, base_wall,
                 delta_ms, delta_pct, limit);
-    appendStepSummary(domains, wall_ms_best, base_wall, delta_ms,
+    appendStepSummary(engine, domains, wall_ms_best, base_wall, delta_ms,
                       delta_pct, tolerance, checksum_ok, rc);
     return rc;
 }
@@ -263,11 +267,19 @@ main(int argc, char **argv)
     // The knob only moves wall time; the determinism checksum must be
     // byte-identical at every value — CI runs the gate at 1 and 4 and
     // fails on any drift.
-    const unsigned domains = effectiveDomains(benchConfig());
+    const SysConfig cfg = benchConfig();
+    const unsigned domains = effectiveDomains(cfg);
+    // The phase engine labels the leg: an IRONHIDE_ENGINE=weave run is
+    // a different timing model (different checksum), and its worker
+    // count — like domains — must move only wall time.
+    const std::string engine =
+        cfg.engine == EngineKind::WEAVE
+            ? strprintf("weave:%u", effectiveWeaveWorkers(cfg))
+            : "serial";
 
     const std::vector<SweepJob> jobs =
         SweepGrid()
-            .config(benchConfig())
+            .config(cfg)
             .apps(standardApps(scale))
             .archs({ArchKind::SGX_LIKE, ArchKind::MI6, ArchKind::IRONHIDE})
             .jobs();
@@ -307,6 +319,7 @@ main(int argc, char **argv)
     table.addRow({"scale", Table::num(scale, 3)});
     table.addRow({"threads", strprintf("%u", threads)});
     table.addRow({"domains", strprintf("%u", domains)});
+    table.addRow({"engine", engine});
     table.addRow({"repeats", strprintf("%u", repeats)});
     table.addRow({"wall(ms) mean", Table::num(wall_ms, 1)});
     table.addRow({"wall(ms) best", Table::num(wall_ms_best, 1)});
@@ -325,6 +338,7 @@ main(int argc, char **argv)
         w.key("scale").value(scale);
         w.key("threads").value(threads);
         w.key("domains").value(domains);
+        w.key("engine").value(engine);
         w.key("repeats").value(repeats);
         w.key("jobs").value(std::uint64_t{jobs.size()});
         w.key("wall_ms").value(wall_ms);
@@ -346,8 +360,8 @@ main(int argc, char **argv)
     }
     int rc = 0;
     if (baseline_path)
-        rc |= gateAgainstBaseline(baseline_path, domains, wall_ms_best,
-                                  completion_total);
+        rc |= gateAgainstBaseline(baseline_path, engine, domains,
+                                  wall_ms_best, completion_total);
     if (sibling_path)
         rc |= gateAgainstSibling(sibling_path, wall_ms_best);
     return rc;

@@ -27,7 +27,11 @@
  * IRONHIDE_SERVE_SEED (arrival-process seed),
  * IRONHIDE_SERVE_LAMBDA0 (first rung's offered load in sessions/s;
  * unset = calibrate off the insecure machine),
- * IRONHIDE_MAX_LOAD_STEPS (rung bound, default 6).
+ * IRONHIDE_SERVE_CALIB (pinned = calibrate the ladder origin on the
+ * INSECURE machine so every architecture runs the same absolute
+ * loads, the default; per-arch = calibrate on the architecture under
+ * test, starting each ladder the same relative distance below its own
+ * knee), IRONHIDE_MAX_LOAD_STEPS (rung bound, default 6).
  */
 
 #include <cinttypes>
@@ -68,6 +72,14 @@ ladderOptions(const std::vector<AppSpec> &apps)
                          std::getenv("IRONHIDE_SERVE_SEED"),
                          0xFFFFFFFFul, v))
         opts.serve.seed = v;
+    if (const char *calib = std::getenv("IRONHIDE_SERVE_CALIB")) {
+        const std::string s = calib;
+        if (s == "per-arch")
+            opts.perArchCalib = true;
+        else if (s != "pinned")
+            fatal("unknown IRONHIDE_SERVE_CALIB '%s' (pinned|per-arch)",
+                  calib);
+    }
     (void)apps;
     return opts;
 }

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * The bound-weave phase engine: deterministic domain-parallel execution
+ * of one phase in fixed cycle quanta.
+ *
+ * Each quantum [k*Q, (k+1)*Q) runs three passes:
+ *
+ *  1. **Capture** (serial, canonical). The same (local time, thread
+ *     index) min-heap loop as the serial reference engine advances
+ *     every thread whose clock is inside the quantum, but
+ *     ExecContext::access only *logs* each request — translation
+ *     mapping, region check and aggregate counters via
+ *     MemorySystem::captureAccess — and charges an optimistic local
+ *     estimate (an L1 hit). Workload state mutates here, serially, so
+ *     shared queues and per-process RNGs need no synchronization and
+ *     the captured request stream is identical at every worker count.
+ *
+ *  2. **Bound** (parallel over weave domains). One lane per domain
+ *     replays its own cores' records against the per-core TLBs and L1s
+ *     only — the state the domain owns exclusively — in (cycle,
+ *     thread) order. Lanes accumulate a per-thread *local skew* (walk
+ *     latencies, blocked-access penalties) and emit an ordered event
+ *     list for everything that touches shared state: L1 misses (with
+ *     their deferred victims), store upgrades, blocked-access audit
+ *     records. Records whose captured cycle lies beyond the quantum
+ *     end (a step can run arbitrarily far past it — e.g. a long
+ *     compute before an access) are *carried over* to the quantum
+ *     their cycle belongs to, so shared state is never touched out of
+ *     global time order; threads with carried records retire only
+ *     after the carry drains. Lanes touch disjoint objects and
+ *     disjoint skew slots, so the worker count is structurally
+ *     unobservable.
+ *
+ *  3. **Weave** (serial barrier). The per-domain event lists — each
+ *     already sorted by captured cycle, because capture issues in
+ *     global time order — merge in canonical (cycle, domain, seq)
+ *     order, and every event replays against the real shared machinery
+ *     (MemorySystem::weaveMiss / weaveUpgrade / weaveBlocked, i.e. the
+ *     same missProtocol the serial engine uses). The difference
+ *     between each event's true completion and its optimistic estimate
+ *     accumulates into a per-thread *weave skew*; thread clocks,
+ *     core-availability times and phase finish times are corrected by
+ *     (local + weave) skew before the next quantum.
+ *
+ * Timing model notes (the deliberate divergence from the serial
+ * reference — see docs/ARCHITECTURE.md):
+ *  - cross-core coherence actions (invalidations, dirty forwards)
+ *    become visible to other threads' private caches at the weave
+ *    barrier, not mid-quantum;
+ *  - shared-resource contention (links, controllers) is resolved in
+ *    captured-time order, which optimistically ignores skew
+ *    accumulated earlier in the same quantum;
+ *  - shared-cache capacity effects reach private caches at the barrier
+ *    too: an L2 eviction's back-invalidation lands after the bound
+ *    pass already replayed the whole quantum against the L1, so a
+ *    trace that overflows the L2 self-interacts across the
+ *    private/shared split even single-threaded;
+ *  - the serial engine executes a step's accesses at *call* time: a
+ *    step that computes far past its heap-pop time issues its access
+ *    in the future ahead of other threads' earlier traffic, advancing
+ *    the monotonic controller queues out of true time order. The weave
+ *    engine replays such accesses in captured-cycle order instead (the
+ *    carry-over above), so exact equivalence also requires that steps
+ *    not embed accesses beyond long computes — i.e. that serial call
+ *    order and captured time order coincide.
+ *  On contention-free traces (threads temporally disjoint, one thread
+ *  per core, combined footprint L2-resident, accesses issued at step
+ *  entry) these effects vanish and the weave engine reproduces the
+ *  serial engine's timings and counters exactly
+ *  (tests/test_weave.cc); bench/abl_weave quantifies the error on
+ *  contended traces as a function of the quantum length.
+ *
+ * ExecContext::lastWasL1Hit/lastWasL2Hit are not modelled under weave
+ * (capture cannot know them before the bound pass); they read false.
+ * The workloads driven through runPhase never consult them — the
+ * attack scenarios, which do, drive ExecContext/MemorySystem directly
+ * and therefore always see serial semantics.
+ */
+
+#include <algorithm>
+#include <cstddef>
+
+#include "cpu/exec_engine.hh"
+#include "harness/weave.hh"
+#include "sim/log.hh"
+
+namespace ih
+{
+
+namespace
+{
+
+enum class WeaveEventKind : std::uint8_t
+{
+    MISS,    ///< L1 miss: missProtocol + deferred victim + data response
+    UPGRADE, ///< store hit on a non-writable line
+    BLOCKED, ///< region-check rejection: audit record only
+};
+
+} // namespace
+
+/** One captured access, logged by the capture pass. */
+struct WeaveRecord
+{
+    VAddr va = 0;
+    Addr pa = 0;
+    Cycle cycle = 0; ///< captured entry time
+    CoreId core = 0;
+    CoreId home = 0;
+    ProcId proc = 0;
+    unsigned thread = 0;
+    MemOp op = MemOp::LOAD;
+    Domain domain = Domain::INSECURE;
+    ClusterRange cluster;
+    bool blocked = false;
+};
+
+/** One shared-state event, emitted by a bound lane. */
+struct WeaveEvent
+{
+    Cycle cycle = 0;       ///< captured entry time (merge key)
+    Cycle localOffset = 0; ///< skew-so-far + this access's local stages
+    Addr pa = 0;
+    CoreId core = 0;
+    CoreId home = 0;
+    ProcId proc = 0;
+    unsigned thread = 0;
+    WeaveEventKind kind = WeaveEventKind::MISS;
+    MemOp op = MemOp::LOAD;
+    Domain domain = Domain::INSECURE;
+    ClusterRange cluster;
+    CacheLine victim;        ///< deferred L1 victim (MISS only)
+    bool victimValid = false;
+};
+
+/** Per-phase scratch of the weave engine (lives on runPhaseWeave's
+ *  stack; ExecEngine::weave_ points here during capture). */
+struct WeavePhaseState
+{
+    std::vector<std::vector<WeaveRecord>> logs;  ///< per domain
+    std::vector<std::vector<WeaveRecord>> carry; ///< per domain, deferred
+    std::vector<std::vector<WeaveRecord>> work;  ///< per domain, scratch
+    std::vector<std::vector<WeaveEvent>> events; ///< per domain
+    std::vector<Cycle> localSkew;                ///< per thread
+    std::vector<Cycle> weaveSkew;                ///< per thread
+    /** Per thread: records deferred past this quantum (recounted every
+     *  bound pass; a finished thread retires only once this drains). */
+    std::vector<std::uint32_t> pendingRecords;
+    std::vector<std::uint64_t> laneTlbMisses;    ///< per domain
+    std::vector<std::uint64_t> laneL1Misses;     ///< per domain
+    std::vector<unsigned> domainOf;              ///< per core
+    std::vector<int> lastOcc; ///< per core: last thread to step on it
+    Cycle qend = 0;           ///< current quantum end (bound filter)
+    Counter *statEvents = nullptr;
+    Counter *statXDomEvents = nullptr;
+};
+
+ExecEngine::~ExecEngine() = default;
+
+void
+ExecEngine::captureAccess(ExecContext &ctx, AddressSpace &space, VAddr va,
+                          MemOp op, const ClusterRange &cluster)
+{
+    const MemorySystem::CaptureProbe p =
+        mem_.captureAccess(ctx.core_, space, va);
+    WeavePhaseState &st = *weave_;
+    st.logs[st.domainOf[ctx.core_]].push_back(
+        WeaveRecord{va, p.pa, ctx.now_, ctx.core_, p.home, p.proc,
+                    ctx.threadIndex_, op, p.domain, cluster, p.blocked});
+    // Optimistic local estimate (TLB hit + L1 hit); the bound lane and
+    // the weave barrier correct the difference via per-thread skew.
+    ctx.now_ += cfg_.l1Latency;
+    ctx.lastL1Hit_ = false; // not modelled under weave (see file header)
+    ctx.lastL2Hit_ = false;
+    ++ctx.instructions_;
+}
+
+void
+ExecEngine::boundLane(WeavePhaseState &st, std::size_t d)
+{
+    const Cycle l1_lat = cfg_.l1Latency;
+    std::vector<WeaveEvent> &events = st.events[d];
+
+    // Working set of this lane: records carried over from earlier
+    // quanta plus this quantum's fresh log, in (cycle, thread) order —
+    // the order the serial heap would have serviced them in. A step
+    // that runs past the quantum end (a long compute before an access)
+    // logs records whose cycle lies beyond qend; replaying those now
+    // would hit the shared NoC/controller state out of global time
+    // order, so they are *deferred*: pushed back onto the carry list
+    // (still sorted) to be replayed in the quantum their cycle belongs
+    // to, and counted per thread so finished threads retire only after
+    // their deferred tail drains.
+    std::vector<WeaveRecord> &work = st.work[d];
+    work.clear();
+    work.insert(work.end(), st.carry[d].begin(), st.carry[d].end());
+    work.insert(work.end(), st.logs[d].begin(), st.logs[d].end());
+    std::stable_sort(work.begin(), work.end(),
+                     [](const WeaveRecord &a, const WeaveRecord &b) {
+                         return a.cycle != b.cycle ? a.cycle < b.cycle
+                                                   : a.thread < b.thread;
+                     });
+    st.carry[d].clear();
+    for (const WeaveRecord &r : work) {
+        if (r.cycle >= st.qend) {
+            st.carry[d].push_back(r);
+            ++st.pendingRecords[r.thread];
+            continue;
+        }
+        Cycle &skew = st.localSkew[r.thread];
+        // Full TLB lookup == the serial predicted-probe + set-scan
+        // composition, counters included (see Tlb::lookup).
+        Tlb &tlb = mem_.tlb(r.core);
+        TlbEntry *te = tlb.lookup(r.va, r.proc);
+        Cycle walk = 0;
+        if (!te) {
+            walk = cfg_.tlbMissLatency;
+            ++st.laneTlbMisses[d];
+        }
+        if (r.blocked) {
+            // Blocked: walk charged, nothing installed; audit record
+            // replays at the barrier at the post-walk time. Serial
+            // finish is entry + walk + pipelineFlush; capture charged
+            // l1Latency.
+            WeaveEvent ev;
+            ev.cycle = r.cycle;
+            ev.localOffset = skew + walk;
+            ev.proc = r.proc;
+            ev.thread = r.thread;
+            ev.core = r.core;
+            ev.kind = WeaveEventKind::BLOCKED;
+            events.push_back(ev);
+            skew += walk + cfg_.pipelineFlushCycles - l1_lat;
+            continue;
+        }
+        if (!te) {
+            tlb.insert(r.va,
+                       r.pa & ~static_cast<Addr>(cfg_.pageBytes - 1),
+                       r.proc, r.domain);
+        }
+        Cache &l1 = mem_.l1(r.core);
+        if (CacheLine *line = l1.lookup(r.pa)) {
+            if (r.op == MemOp::STORE) {
+                if (!line->writable) {
+                    WeaveEvent ev;
+                    ev.cycle = r.cycle;
+                    ev.localOffset = skew + walk + l1_lat;
+                    ev.pa = r.pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+                    ev.core = r.core;
+                    ev.home = r.home;
+                    ev.proc = r.proc;
+                    ev.thread = r.thread;
+                    ev.kind = WeaveEventKind::UPGRADE;
+                    ev.op = r.op;
+                    ev.domain = r.domain;
+                    ev.cluster = r.cluster;
+                    events.push_back(ev);
+                    line->writable = true;
+                }
+                line->dirty = true;
+            }
+            skew += walk; // hit: true local cost is walk + l1Latency
+        } else {
+            ++st.laneL1Misses[d];
+            const Eviction l1_ev = l1.insert(r.pa, r.proc, r.domain);
+            CacheLine *nl = l1.findLine(r.pa);
+            IH_ASSERT(nl, "L1 line vanished after insert");
+            nl->writable = r.op == MemOp::STORE;
+            nl->dirty = r.op == MemOp::STORE;
+            WeaveEvent ev;
+            ev.cycle = r.cycle;
+            ev.localOffset = skew + walk + l1_lat;
+            ev.pa = r.pa;
+            ev.core = r.core;
+            ev.home = r.home;
+            ev.proc = r.proc;
+            ev.thread = r.thread;
+            ev.kind = WeaveEventKind::MISS;
+            ev.op = r.op;
+            ev.domain = r.domain;
+            ev.cluster = r.cluster;
+            ev.victim = l1_ev.victim;
+            ev.victimValid = l1_ev.happened;
+            events.push_back(ev);
+            skew += walk; // the remote remnant is added at the weave
+        }
+    }
+}
+
+void
+ExecEngine::weaveMerge(WeavePhaseState &st)
+{
+    // Lane tallies fold into the aggregate counters first (domain order;
+    // the sums are what the serial engine would have counted).
+    std::uint64_t tlb_misses = 0, l1_misses = 0;
+    const std::size_t dn = st.events.size();
+    for (std::size_t d = 0; d < dn; ++d) {
+        tlb_misses += st.laneTlbMisses[d];
+        l1_misses += st.laneL1Misses[d];
+        st.laneTlbMisses[d] = 0;
+        st.laneL1Misses[d] = 0;
+    }
+    if (tlb_misses || l1_misses)
+        mem_.applyWeaveLaneCounters(tlb_misses, l1_misses);
+
+    // Canonical (cycle, domain, seq) merge: each domain's list is
+    // already cycle-sorted (capture issues in global time order), so a
+    // k-way min with strict < ties broken by the lower domain index is
+    // exactly the canonical order; seq is the in-domain position.
+    std::vector<std::size_t> pos(dn, 0);
+    for (;;) {
+        std::size_t best = dn;
+        for (std::size_t d = 0; d < dn; ++d) {
+            if (pos[d] >= st.events[d].size())
+                continue;
+            if (best == dn ||
+                st.events[d][pos[d]].cycle < st.events[best][pos[best]].cycle)
+                best = d;
+        }
+        if (best == dn)
+            break;
+        const WeaveEvent &ev = st.events[best][pos[best]++];
+        st.statEvents->inc();
+        // True entry time: captured cycle + the thread's corrected
+        // local stages + corrections from its earlier remote events.
+        const Cycle t = ev.cycle + ev.localOffset + st.weaveSkew[ev.thread];
+        switch (ev.kind) {
+        case WeaveEventKind::BLOCKED:
+            mem_.weaveBlocked(ev.proc, t);
+            break;
+        case WeaveEventKind::UPGRADE: {
+            const Cycle f = mem_.weaveUpgrade(ev.core, ev.pa, ev.home, t,
+                                              ev.cluster);
+            st.weaveSkew[ev.thread] += f - t;
+            if (st.domainOf[ev.core] != st.domainOf[ev.home])
+                st.statXDomEvents->inc();
+            break;
+        }
+        case WeaveEventKind::MISS: {
+            const Cycle f =
+                mem_.weaveMiss(ev.core, ev.pa, ev.op, t, ev.cluster,
+                               ev.home, ev.proc, ev.domain,
+                               ev.victimValid ? &ev.victim : nullptr);
+            st.weaveSkew[ev.thread] += f - t;
+            if (st.domainOf[ev.core] != st.domainOf[ev.home])
+                st.statXDomEvents->inc();
+            break;
+        }
+        }
+    }
+}
+
+PhaseResult
+ExecEngine::runPhaseWeave(Process &proc, SteppableTask &task, Cycle start)
+{
+    const std::vector<CoreId> &cores = proc.cores();
+    IH_ASSERT(!cores.empty(), "process '%s' has no cores assigned",
+              proc.name().c_str());
+    const unsigned n_threads = proc.requestedThreads();
+    const unsigned tiles = mem_.numTiles();
+    const Cycle quantum = cfg_.weaveQuantum;
+    const std::size_t dn = cfg_.effectiveWeaveDomains();
+
+    if (!weavePool_)
+        weavePool_ = std::make_unique<WeavePool>(effectiveWeaveWorkers(cfg_));
+
+    // Same pooled-context / core-availability initialization as the
+    // serial engine; the (time, thread index) heap order is shared too.
+    ctxPool_.clear();
+    ctxPool_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        ctxPool_.emplace_back(*this, proc, i, n_threads,
+                              cores[i % cores.size()], start);
+    for (CoreId c : cores)
+        coreFree_[c] = start;
+
+    WeavePhaseState st;
+    st.logs.resize(dn);
+    st.carry.resize(dn);
+    st.work.resize(dn);
+    st.events.resize(dn);
+    st.localSkew.assign(n_threads, 0);
+    st.weaveSkew.assign(n_threads, 0);
+    st.pendingRecords.assign(n_threads, 0);
+    st.laneTlbMisses.assign(dn, 0);
+    st.laneL1Misses.assign(dn, 0);
+    st.domainOf.resize(tiles);
+    for (CoreId c = 0; c < tiles; ++c)
+        st.domainOf[c] = cfg_.weaveDomainOf(c);
+    st.lastOcc.assign(tiles, -1);
+    // Weave-only counters, created lazily so the serial engine's
+    // counter tree (and the stats-parity golden) is untouched.
+    Counter &stat_quanta = stats_.counter("weave_quanta");
+    st.statEvents = &stats_.counter("weave_events");
+    st.statXDomEvents = &stats_.counter("weave_cross_domain_events");
+
+    // Exception safety: the capture flag must never outlive this frame.
+    struct CaptureGuard
+    {
+        ExecEngine *engine;
+        ~CaptureGuard() { engine->weave_ = nullptr; }
+    } guard{this};
+
+    using Entry = std::pair<Cycle, unsigned>;
+    const auto heap_cmp = std::greater<Entry>{};
+    std::vector<char> finished(n_threads, 0);
+    /** Threads out of work but not yet retired (deferred records may
+     *  still owe them timing corrections). */
+    std::vector<unsigned> finished_waiting;
+
+    PhaseResult res;
+    res.finish = start;
+    unsigned live = n_threads;
+    Cycle qstart = start;
+    while (live > 0) {
+        const Cycle qend = qstart + quantum;
+
+        // ---- capture: canonical serial order, quantum-bounded ---------
+        weave_ = &st;
+        heap_.clear();
+        for (unsigned i = 0; i < n_threads; ++i)
+            if (!finished[i])
+                heap_.emplace_back(ctxPool_[i].now_, i);
+        std::make_heap(heap_.begin(), heap_.end(), heap_cmp);
+        while (!heap_.empty()) {
+            const auto [t, idx] = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+            heap_.pop_back();
+            if (t >= qend)
+                continue; // parked until a later quantum (now_ == t)
+            ExecContext &ctx = ctxPool_[idx];
+            Cycle &free_at = coreFree_[ctx.core()];
+            if (free_at > t) {
+                ctx.now_ = free_at;
+                heap_.emplace_back(ctx.now_, idx);
+                std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+                continue;
+            }
+            const bool more = task.step(ctx);
+            free_at = ctx.now_;
+            st.lastOcc[ctx.core()] = static_cast<int>(idx);
+            ++res.steps;
+            if (more) {
+                heap_.emplace_back(ctx.now_, idx);
+                std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+            } else {
+                finished[idx] = 1;
+                finished_waiting.push_back(idx);
+            }
+        }
+        weave_ = nullptr;
+        stat_quanta.inc();
+
+        // ---- bound: one lane per domain, private state only -----------
+        st.qend = qend;
+        std::fill(st.pendingRecords.begin(), st.pendingRecords.end(), 0);
+        weavePool_->run(dn,
+                        [this, &st](std::size_t d) { boundLane(st, d); });
+
+        // ---- weave: canonical replay of the shared-state remnant ------
+        weaveMerge(st);
+
+        // ---- corrections: thread clocks, core availability, finishes --
+        // lastOcc persists across quanta: a parked thread's deferred
+        // records keep correcting its core's next-free time when they
+        // finally replay (skews are zero for untouched threads).
+        for (CoreId c : cores) {
+            if (st.lastOcc[c] >= 0) {
+                const unsigned i = static_cast<unsigned>(st.lastOcc[c]);
+                coreFree_[c] += st.localSkew[i] + st.weaveSkew[i];
+            }
+        }
+        for (unsigned i = 0; i < n_threads; ++i) {
+            const Cycle skew = st.localSkew[i] + st.weaveSkew[i];
+            if (skew)
+                ctxPool_[i].now_ += skew;
+            st.localSkew[i] = 0;
+            st.weaveSkew[i] = 0;
+        }
+        // Retire threads that are out of work *and* whose deferred
+        // records have all replayed — only then is their clock final.
+        for (std::size_t k = 0; k < finished_waiting.size();) {
+            const unsigned idx = finished_waiting[k];
+            if (st.pendingRecords[idx] != 0) {
+                ++k;
+                continue;
+            }
+            ExecContext &ctx = ctxPool_[idx];
+            res.finish = std::max(res.finish, ctx.now_);
+            core(ctx.core()).noteBusyUntil(ctx.now_);
+            core(ctx.core()).retire(ctx.instructions_);
+            res.instructions += ctx.instructions_;
+            --live;
+            finished_waiting.erase(finished_waiting.begin() +
+                                   static_cast<std::ptrdiff_t>(k));
+        }
+        for (std::size_t d = 0; d < dn; ++d) {
+            st.logs[d].clear();
+            st.events[d].clear();
+        }
+
+        // ---- next quantum, skipping windows no thread can reach --------
+        if (live == 0)
+            break;
+        Cycle min_now = ~Cycle(0);
+        for (unsigned i = 0; i < n_threads; ++i)
+            if (!finished[i] || st.pendingRecords[i] != 0)
+                min_now = std::min(min_now, ctxPool_[i].now_);
+        // Skews are non-negative (the capture estimate is a lower
+        // bound), so every live thread sits at or past qend; jump to
+        // the grid-aligned quantum containing the earliest one.
+        IH_ASSERT(min_now >= qend, "weave thread clock ran backwards");
+        qstart = start + (min_now - start) / quantum * quantum;
+    }
+
+    proc.stats().counter("instructions").inc(res.instructions);
+    proc.stats().counter("phases").inc();
+    statPhases_.inc();
+    return res;
+}
+
+} // namespace ih

@@ -10,6 +10,7 @@
 #include "core/ironhide.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
+#include "harness/weave.hh"
 #include "sim/log.hh"
 
 namespace ih
@@ -296,6 +297,7 @@ SysConfig
 benchConfig()
 {
     SysConfig cfg;
+    applyWeaveEnv(cfg);
     cfg.validate();
     return cfg;
 }

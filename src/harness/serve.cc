@@ -88,15 +88,17 @@ runOpenLoop(ArchKind kind, const SysConfig &cfg,
 namespace
 {
 
-/** Arch-independent base load: one back-to-back session per app on an
- *  INSECURE machine gives the unloaded mean service time. */
+/** Base load from one back-to-back session per app on @p calib_arch:
+ *  the pinned-INSECURE default keeps the origin arch-independent (the
+ *  curves share absolute loads); per-arch calibration passes the
+ *  architecture under test instead. */
 double
 calibratedLambda0(const SysConfig &cfg, const std::vector<AppSpec> &apps,
-                  const ServeOptions &opts)
+                  const ServeOptions &opts, ArchKind calib_arch)
 {
     SessionOptions sopts;
     sopts.interactionsPerSession = opts.interactionsPerSession;
-    SessionServer server(cfg, ArchKind::INSECURE, apps, sopts);
+    SessionServer server(cfg, calib_arch, apps, sopts);
     for (std::size_t i = 0; i < apps.size(); ++i)
         server.serve(i, 0);
     const double meanService =
@@ -123,8 +125,11 @@ runLoadLadder(ArchKind kind, const SysConfig &cfg,
     out.stopReason = kStopMaxSteps;
 
     const double lambda0 =
-        opts.lambda0 > 0.0 ? opts.lambda0
-                           : calibratedLambda0(cfg, apps, opts.serve);
+        opts.lambda0 > 0.0
+            ? opts.lambda0
+            : calibratedLambda0(cfg, apps, opts.serve,
+                                opts.perArchCalib ? kind
+                                                  : ArchKind::INSECURE);
     const std::uint64_t depthLimit =
         opts.queueDepthLimit
             ? opts.queueDepthLimit

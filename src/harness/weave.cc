@@ -1,0 +1,141 @@
+#include "harness/weave.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "harness/report.hh"
+#include "sim/log.hh"
+
+namespace ih
+{
+
+WeavePool::WeavePool(unsigned workers)
+{
+    const unsigned k = std::max(1u, workers);
+    threads_.reserve(k - 1);
+    for (unsigned i = 0; i + 1 < k; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WeavePool::~WeavePool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WeavePool::claimLanes()
+{
+    for (;;) {
+        std::size_t i;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (next_ >= n_)
+                return;
+            i = next_++;
+        }
+        try {
+            (*fn_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!err_ || i < errIdx_) {
+                errIdx_ = i;
+                err_ = std::current_exception();
+            }
+        }
+        std::lock_guard<std::mutex> lk(m_);
+        if (--pending_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+WeavePool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            wake_.wait(lk, [&] { return stop_ || gen_ != seen; });
+            if (stop_)
+                return;
+            seen = gen_;
+        }
+        claimLanes();
+    }
+}
+
+void
+WeavePool::run(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty()) {
+        // Serial pool: a plain loop already has canonical failure
+        // semantics (the first throw is the smallest index).
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        fn_ = &fn;
+        n_ = n;
+        next_ = 0;
+        pending_ = n;
+        err_ = nullptr;
+        errIdx_ = 0;
+        ++gen_;
+    }
+    wake_.notify_all();
+    claimLanes();
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        done_.wait(lk, [&] { return pending_ == 0; });
+        fn_ = nullptr;
+        err = err_;
+        err_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+unsigned
+effectiveWeaveWorkers(const SysConfig &cfg)
+{
+    unsigned w = cfg.weaveWorkers;
+    if (w == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        w = hw == 0 ? 1 : hw;
+    }
+    return std::min(std::max(w, 1u), cfg.effectiveWeaveDomains());
+}
+
+void
+applyWeaveEnv(SysConfig &cfg)
+{
+    if (const char *engine = std::getenv("IRONHIDE_ENGINE")) {
+        if (std::strcmp(engine, "serial") == 0)
+            cfg.engine = EngineKind::SERIAL;
+        else if (std::strcmp(engine, "weave") == 0)
+            cfg.engine = EngineKind::WEAVE;
+        else
+            fatal("IRONHIDE_ENGINE='%s' is not a timing model "
+                  "(serial|weave)",
+                  engine);
+    }
+    unsigned long v = 0;
+    if (parseEnvUnsigned("IRONHIDE_WEAVE_WORKERS",
+                         std::getenv("IRONHIDE_WEAVE_WORKERS"), 256, v))
+        cfg.weaveWorkers = static_cast<unsigned>(v);
+}
+
+} // namespace ih

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Worker pool and environment knobs for the bound-weave phase engine.
+ *
+ * The weave engine (src/cpu/exec_engine_weave.cc) fans the *bound*
+ * sub-phase of every quantum out over the weave domains: one lane per
+ * domain, each replaying only its own cores' private L1/TLB traffic.
+ * That fan-out happens thousands of times per phase, so unlike the
+ * harness's parallelForIndex() — which spawns threads per call — the
+ * WeavePool here keeps a persistent set of workers parked on a
+ * condition variable between quanta.
+ *
+ * The pool honours the same two contract points as parallelForIndex():
+ *
+ *  - lane indices are claimed in ascending order from a shared
+ *    counter, so which worker ran which lane is unobservable;
+ *  - when lanes throw, the exception that propagates is the one with
+ *    the smallest lane index — what a serial `for` loop would have
+ *    produced — regardless of wall-clock completion order. The pool
+ *    runs *every* lane even after a failure (lanes are cheap and
+ *    side-effect-confined to their own domain), so the minimum over
+ *    thrown indices is exact.
+ *
+ * Also here: the env-knob application for the engine selection
+ * (IRONHIDE_ENGINE) and the bound worker count
+ * (IRONHIDE_WEAVE_WORKERS), strict-parsed like THREADS/DOMAINS and
+ * consulted at the harness layer (benchConfig()), never inside the
+ * model.
+ */
+
+#ifndef IH_HARNESS_WEAVE_HH
+#define IH_HARNESS_WEAVE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace ih
+{
+
+/**
+ * Persistent fork-join pool for the per-quantum bound lanes.
+ *
+ * `WeavePool(k)` keeps k-1 parked worker threads; `run(n, fn)` invokes
+ * fn(i) for i in [0, n) with the caller participating as the k-th
+ * worker, and blocks until every lane finished. With k <= 1 the pool
+ * owns no threads and run() is a plain serial loop.
+ */
+class WeavePool
+{
+  public:
+    explicit WeavePool(unsigned workers);
+    ~WeavePool();
+    WeavePool(const WeavePool &) = delete;
+    WeavePool &operator=(const WeavePool &) = delete;
+
+    /** Total workers including the calling thread. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size()) + 1;
+    }
+
+    /**
+     * Run fn(0..n-1) across the pool; returns when all lanes are done.
+     * Throws the smallest-index lane exception, if any. Not reentrant:
+     * one run() at a time (the engine calls it from one thread).
+     */
+    void run(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void claimLanes();
+
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;       ///< lanes in the current run
+    std::size_t next_ = 0;    ///< next unclaimed lane
+    std::size_t pending_ = 0; ///< lanes not yet completed
+    std::uint64_t gen_ = 0;   ///< bumped per run(); wakes parked workers
+    std::size_t errIdx_ = 0;  ///< smallest failing lane so far
+    std::exception_ptr err_;  ///< its exception
+    bool stop_ = false;
+};
+
+/**
+ * Resolve the bound worker count for @p cfg: `weaveWorkers` if
+ * nonzero, else hardware concurrency; either way capped at the weave
+ * domain count (a lane is the unit of bound work — more workers than
+ * domains would only park).
+ */
+unsigned effectiveWeaveWorkers(const SysConfig &cfg);
+
+/**
+ * Apply the engine env knobs to @p cfg: IRONHIDE_ENGINE selects
+ * serial|weave (any other value is a fatal user error — silently
+ * running the wrong timing model would poison a whole sweep), and
+ * IRONHIDE_WEAVE_WORKERS overrides `weaveWorkers` (strict-parsed;
+ * malformed values warn and are ignored). Called by benchConfig() so
+ * every bench inherits the knobs; tests set the config fields
+ * directly.
+ */
+void applyWeaveEnv(SysConfig &cfg);
+
+} // namespace ih
+
+#endif // IH_HARNESS_WEAVE_HH

@@ -216,16 +216,12 @@ MemorySystem::noteBlocked(ProcId proc, Cycle t)
     audit_->record(AuditKind::ACCESS_BLOCKED, t, proc);
 }
 
-AccessResult
-MemorySystem::accessMiss(CoreId core, AddressSpace &space,
-                         const PageInfo &info, Addr pa, MemOp op, Cycle t,
-                         const ClusterRange &cluster, AccessResult res)
+Cycle
+MemorySystem::missProtocol(CoreId core, Addr pa, MemOp op, Cycle t,
+                           const ClusterRange &cluster, CoreId home,
+                           ProcId proc, Domain domain, bool *l2_hit)
 {
-    const ProcId proc = space.proc();
-    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
-
     // ---- L2 home ----------------------------------------------------------
-    const CoreId home = homeFromInfo(space, info, line_pa);
     t = net_.traverse(core, home, t, 1, cluster);
     t += cfg_.l2Latency;
     statL2Accesses_.inc();
@@ -238,17 +234,18 @@ MemorySystem::accessMiss(CoreId core, AddressSpace &space,
         const CoreId mc_tile = topo_.mcAttachTile(mc_id);
         Cycle tm = net_.traverse(home, mc_tile, t, 1, cluster);
         tm += cfg_.hopLatency; // dedicated MC attachment link
-        tm = mcs_[mc_id]->serviceRead(pa, tm, space.domain());
+        tm = mcs_[mc_id]->serviceRead(pa, tm, domain);
         tm += cfg_.hopLatency;
         t = net_.traverse(mc_tile, home, tm, dataFlits_, cluster);
 
-        const Eviction ev = l2s_[home]->insert(pa, proc, space.domain());
+        const Eviction ev = l2s_[home]->insert(pa, proc, domain);
         if (ev.happened)
             handleL2Eviction(ev.victim, t);
         l2_line = l2s_[home]->findLine(pa);
         IH_ASSERT(l2_line, "L2 line vanished after insert");
     } else {
-        res.l2Hit = true;
+        if (l2_hit)
+            *l2_hit = true;
         // Another L1 may own the line dirty; fetch/forward it.
         if (l2_line->sharers != 0 &&
             !Directory::soleSharer(l2_line->sharers, core)) {
@@ -276,17 +273,36 @@ MemorySystem::accessMiss(CoreId core, AddressSpace &space,
     if (op == MemOp::STORE)
         t = invalidateSharers(*l2_line, core, home, t, cluster);
     l2_line->sharers = Directory::addSharer(l2_line->sharers, core);
+    return t;
+}
+
+void
+MemorySystem::applyL1Victim(CoreId core, const CacheLine &victim, Cycle t)
+{
+    if (victim.dirty)
+        writebackVictim(victim, t);
+    // Keep the directory honest: drop the victim's sharer bit.
+    const CoreId vhome = homeOfPhys(victim.lineAddr);
+    if (CacheLine *vl = l2s_[vhome]->findLine(victim.lineAddr))
+        vl->sharers = Directory::removeSharer(vl->sharers, core);
+}
+
+AccessResult
+MemorySystem::accessMiss(CoreId core, AddressSpace &space,
+                         const PageInfo &info, Addr pa, MemOp op, Cycle t,
+                         const ClusterRange &cluster, AccessResult res)
+{
+    const ProcId proc = space.proc();
+    const Addr line_pa = pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    const CoreId home = homeFromInfo(space, info, line_pa);
+
+    t = missProtocol(core, pa, op, t, cluster, home, proc, space.domain(),
+                     &res.l2Hit);
 
     // ---- Fill L1 -----------------------------------------------------------
     const Eviction l1_ev = l1s_[core]->insert(pa, proc, space.domain());
-    if (l1_ev.happened && l1_ev.victim.dirty)
-        writebackVictim(l1_ev.victim, t);
-    if (l1_ev.happened) {
-        // Keep the directory honest: drop the victim's sharer bit.
-        const CoreId vhome = homeOfPhys(l1_ev.victim.lineAddr);
-        if (CacheLine *vl = l2s_[vhome]->findLine(l1_ev.victim.lineAddr))
-            vl->sharers = Directory::removeSharer(vl->sharers, core);
-    }
+    if (l1_ev.happened)
+        applyL1Victim(core, l1_ev.victim, t);
     CacheLine *l1_line = l1s_[core]->findLine(pa);
     IH_ASSERT(l1_line, "L1 line vanished after insert");
     l1_line->writable = (op == MemOp::STORE);
@@ -296,6 +312,44 @@ MemorySystem::accessMiss(CoreId core, AddressSpace &space,
     t = net_.traverse(home, core, t, dataFlits_, cluster);
     res.finish = t;
     return res;
+}
+
+MemorySystem::CaptureProbe
+MemorySystem::captureAccess(CoreId core, AddressSpace &space, VAddr va)
+{
+    IH_ASSERT(core < l1s_.size(), "access from core %u out of range", core);
+    statAccesses_.inc();
+    const PageInfo &info = space.ensureMapped(va);
+    CaptureProbe p;
+    p.proc = space.proc();
+    p.domain = space.domain();
+    p.pa = info.ppage + (va & static_cast<VAddr>(cfg_.pageBytes - 1));
+    // Same check-before-TLB-fill discipline as accessSlow(): a blocked
+    // access leaves no trace beyond its counters and audit record; in
+    // particular the bound lane will charge the walk but install
+    // nothing.
+    if (!checker_.allows(p.domain, regionOf(p.pa))) {
+        p.blocked = true;
+        statBlockedAccesses_.inc();
+        return p;
+    }
+    noteHome(space, info);
+    statL1Accesses_.inc();
+    const Addr line_pa = p.pa & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    p.home = homeFromInfo(space, info, line_pa);
+    return p;
+}
+
+Cycle
+MemorySystem::weaveMiss(CoreId core, Addr pa, MemOp op, Cycle t,
+                        const ClusterRange &cluster, CoreId home,
+                        ProcId proc, Domain domain, const CacheLine *victim)
+{
+    t = missProtocol(core, pa, op, t, cluster, home, proc, domain,
+                     /*l2_hit=*/nullptr);
+    if (victim)
+        applyL1Victim(core, *victim, t);
+    return net_.traverse(home, core, t, dataFlits_, cluster);
 }
 
 AccessResult

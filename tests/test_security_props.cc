@@ -359,6 +359,19 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(attackChannelName(info.param));
     });
 
+TEST_P(AttackLeakage, InsecureControlVictimLeaksOnEveryChannel)
+{
+    // The unprotected baseline is the suite's positive control: every
+    // channel's distinguisher must read the victim's secret when
+    // nothing defends it, or the zero-leakage results above prove
+    // nothing about the defenses.
+    const LeakageResult r = run(ArchKind::INSECURE, GetParam());
+    EXPECT_GT(r.leakBitsPerTrial, 0.0)
+        << "vacuous attack on " << r.channel;
+    EXPECT_GT(r.accuracy, 0.5) << r.channel;
+    EXPECT_GT(r.signal, 0.0) << r.channel;
+}
+
 TEST(AttackLeakage, SgxLikeLeaksOnSharedLlcAndDram)
 {
     AttackRunOptions opts;
