@@ -134,6 +134,35 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(base.weaveQuantum),
                 100.0 * worst_any);
 
+    // Host-side pass profile: rerun the default-quantum weave cells
+    // in-process and read ExecEngine::weaveProfile. The sweep results
+    // above can't carry this — they round-trip the ihres1 codec, which
+    // (deliberately) excludes host wall times so the isolate layer's
+    // retry-determinism check never sees a host-dependent byte. The
+    // serial capture share is the Amdahl bound on bound-lane scaling.
+    double cap_s = 0.0, bound_s = 0.0, weave_s = 0.0;
+    for (const SweepJob &j : jobs) {
+        if (j.cfg.engine != EngineKind::WEAVE ||
+            j.cfg.weaveQuantum != base.weaveQuantum)
+            continue;
+        const ExperimentResult r =
+            runExperiment(j.app, j.arch, j.cfg, j.ihopts);
+        cap_s += r.weaveCaptureSec;
+        bound_s += r.weaveBoundSec;
+        weave_s += r.weaveWeaveSec;
+    }
+    const double total_s = cap_s + bound_s + weave_s;
+    if (total_s > 0.0) {
+        std::printf("\nWeave pass profile (host wall, default-quantum "
+                    "cells): capture %.1f ms serial,\nbound %.1f ms "
+                    "parallel, weave %.1f ms serial — capture fraction "
+                    "%.1f%%,\nAmdahl speedup bound %.2fx over the phase "
+                    "loop.\n",
+                    cap_s * 1e3, bound_s * 1e3, weave_s * 1e3,
+                    100.0 * cap_s / total_s,
+                    bound_s > 0.0 ? total_s / (total_s - bound_s) : 1.0);
+    }
+
     maybeWriteJsonReport(argc, argv, "abl_weave", jobs, out);
     return 0;
 }

@@ -10,7 +10,7 @@
 #ifndef IH_CORE_ENCLAVE_HH
 #define IH_CORE_ENCLAVE_HH
 
-#include <unordered_map>
+#include <map>
 
 #include "sim/log.hh"
 #include "sim/types.hh"
@@ -54,7 +54,16 @@ class EnclaveContext
     Cycle overhead_ = 0;
 };
 
-/** Enclave contexts of all secure processes under one model. */
+/**
+ * Enclave contexts of all secure processes under one model.
+ *
+ * The table is an ordered std::map on purpose: the totals below
+ * iterate it, and although integer folds are order-independent, the
+ * determinism lint (scripts/ih_lint.py) bans iteration over unordered
+ * containers outright rather than auditing every loop body forever. The
+ * table holds a handful of processes and of() runs per enclave
+ * transition, not per access — the tree walk is noise.
+ */
 class EnclaveTable
 {
   public:
@@ -85,7 +94,7 @@ class EnclaveTable
     }
 
   private:
-    std::unordered_map<ProcId, EnclaveContext> table_;
+    std::map<ProcId, EnclaveContext> table_;
 };
 
 } // namespace ih

@@ -133,6 +133,29 @@ class ExecEngine
     ~ExecEngine(); // out of line: WeavePool is only forward-declared here
 
     /**
+     * Host wall time spent in each weave pass, accumulated over every
+     * weave phase this engine has run. The capture and weave passes are
+     * serial, so captureSec + weaveSec over the total is the Amdahl
+     * bound on bound-lane scaling. Host-side diagnostics only:
+     * simulated cycles, counters and checksums never read these.
+     */
+    struct WeaveProfile
+    {
+        double captureSec = 0.0; ///< serial capture pass
+        double boundSec = 0.0;   ///< parallel bound lanes (fork..join)
+        double weaveSec = 0.0;   ///< serial barrier merge + corrections
+
+        double total() const { return captureSec + boundSec + weaveSec; }
+        /** Serial-capture share of the phase wall time (0 if unused). */
+        double
+        captureFraction() const
+        {
+            const double t = total();
+            return t > 0.0 ? captureSec / t : 0.0;
+        }
+    };
+
+    /**
      * Run @p task for @p proc starting at @p start: one thread per
      * assigned core (up to the requested thread count), min-time-first.
      * Dispatches to the engine selected by SysConfig::engine (the
@@ -145,6 +168,7 @@ class ExecEngine
     const SysConfig &config() const { return cfg_; }
     Core &core(CoreId id) { return *cores_[id]; }
     StatGroup &stats() { return stats_; }
+    const WeaveProfile &weaveProfile() const { return weaveProf_; }
 
     /** Cost charged per participant by ExecContext::sync(). */
     static constexpr Cycle SYNC_BASE = 30;
@@ -200,6 +224,8 @@ class ExecEngine
     WeavePhaseState *weave_ = nullptr;
     /** Persistent bound-lane worker pool, created on first weave phase. */
     std::unique_ptr<WeavePool> weavePool_;
+    /** Accumulated weave pass wall times (see WeaveProfile). */
+    WeaveProfile weaveProf_;
 };
 
 // ExecContext::access issues through the engine's MemorySystem, whose

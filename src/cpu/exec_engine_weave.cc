@@ -78,6 +78,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 
 #include "cpu/exec_engine.hh"
@@ -89,6 +90,17 @@ namespace ih
 
 namespace
 {
+
+// Host-side pass profiling (ExecEngine::weaveProfile): the serial
+// capture fraction is the Amdahl bound on bound-lane scaling. Wall
+// time only — simulated cycles, counters and checksums never read it.
+using ProfileClock = std::chrono::steady_clock;
+
+double
+secondsSince(ProfileClock::time_point t0, ProfileClock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
 
 enum class WeaveEventKind : std::uint8_t
 {
@@ -414,6 +426,7 @@ ExecEngine::runPhaseWeave(Process &proc, SteppableTask &task, Cycle start)
     Cycle qstart = start;
     while (live > 0) {
         const Cycle qend = qstart + quantum;
+        const auto prof0 = ProfileClock::now();
 
         // ---- capture: canonical serial order, quantum-bounded ---------
         weave_ = &st;
@@ -450,12 +463,14 @@ ExecEngine::runPhaseWeave(Process &proc, SteppableTask &task, Cycle start)
         }
         weave_ = nullptr;
         stat_quanta.inc();
+        const auto prof1 = ProfileClock::now();
 
         // ---- bound: one lane per domain, private state only -----------
         st.qend = qend;
         std::fill(st.pendingRecords.begin(), st.pendingRecords.end(), 0);
         weavePool_->run(dn,
                         [this, &st](std::size_t d) { boundLane(st, d); });
+        const auto prof2 = ProfileClock::now();
 
         // ---- weave: canonical replay of the shared-state remnant ------
         weaveMerge(st);
@@ -498,6 +513,10 @@ ExecEngine::runPhaseWeave(Process &proc, SteppableTask &task, Cycle start)
             st.logs[d].clear();
             st.events[d].clear();
         }
+        // The corrections above are part of the serial barrier.
+        weaveProf_.captureSec += secondsSince(prof0, prof1);
+        weaveProf_.boundSec += secondsSince(prof1, prof2);
+        weaveProf_.weaveSec += secondsSince(prof2, ProfileClock::now());
 
         // ---- next quantum, skipping windows no thread can reach --------
         if (live == 0)

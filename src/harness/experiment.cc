@@ -284,6 +284,10 @@ runExperiment(const AppSpec &spec, ArchKind kind, const SysConfig &cfg,
     out.run = app.run(opts);
     if (out.decidedSplit == 0)
         out.decidedSplit = model->secureCoreCount();
+    const ExecEngine::WeaveProfile &wp = sys.engine().weaveProfile();
+    out.weaveCaptureSec = wp.captureSec;
+    out.weaveBoundSec = wp.boundSec;
+    out.weaveWeaveSec = wp.weaveSec;
     return out;
 }
 

@@ -19,6 +19,10 @@ WeavePool::WeavePool(unsigned workers)
         threads_.emplace_back([this] { workerLoop(); });
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): join() throws only for
+// no-such-thread/deadlock, impossible for threads this pool created,
+// never detached and told to stop first; terminating would be right
+// anyway.
 WeavePool::~WeavePool()
 {
     {

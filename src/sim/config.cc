@@ -21,12 +21,20 @@ isPow2(std::uint64_t v)
 SysConfig &
 SysConfig::set(const std::string &key, const std::string &value)
 {
-    auto as_u = [&]() -> unsigned {
-        return static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 0));
-    };
+    // Strict end-checked parsing (sim/ cannot reach the harness/report
+    // helpers — see the docs/ARCHITECTURE.md layer map — so the checks
+    // live here): the whole value must be consumed, or the config is a
+    // fatal user error. Lenient strtoul turned "4x4" into 4 silently.
     auto as_cyc = [&]() -> Cycle {
-        return static_cast<Cycle>(std::strtoull(value.c_str(), nullptr, 0));
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(value.c_str(), &end, 0);
+        if (value.empty() || end != value.c_str() + value.size())
+            fatal("config key '%s': unparseable value '%s'",
+                  key.c_str(), value.c_str());
+        return static_cast<Cycle>(v);
     };
+    auto as_u = [&]() -> unsigned { return static_cast<unsigned>(as_cyc()); };
 
     if (key == "meshWidth") meshWidth = as_u();
     else if (key == "meshHeight") meshHeight = as_u();
@@ -51,9 +59,14 @@ SysConfig::set(const std::string &key, const std::string &value)
     else if (key == "l1PurgePerLine") l1PurgePerLine = as_cyc();
     else if (key == "pipelineFlushCycles") pipelineFlushCycles = as_cyc();
     else if (key == "rehomePerPage") rehomePerPage = as_cyc();
-    else if (key == "seed") seed = std::strtoull(value.c_str(), nullptr, 0);
-    else if (key == "workScale") workScale = std::strtod(value.c_str(),
-                                                         nullptr);
+    else if (key == "seed") seed = as_cyc();
+    else if (key == "workScale") {
+        char *end = nullptr;
+        workScale = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size())
+            fatal("config key 'workScale': unparseable value '%s'",
+                  value.c_str());
+    }
     else if (key == "domains") domains = as_u();
     else if (key == "engine") {
         if (value == "serial") engine = EngineKind::SERIAL;

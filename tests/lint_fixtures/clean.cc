@@ -1,0 +1,46 @@
+// The approved idiom for every rule; must lint clean.
+//
+//  - ordered std::map iteration (deterministic order);
+//  - unordered_map used for lookup only, never iterated;
+//  - env values routed through the strict helpers (the call below is
+//    textual — this file is never compiled);
+//  - a documented knob literal ("IRONHIDE_THREADS" is in the README
+//    reference table);
+//  - comments may name forbidden functions freely: atof, rand(),
+//    steady_clock and strtod in this sentence must not trip the lint.
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace fixture
+{
+
+unsigned long parseEnvUnsigned_stub(const char *, const char *,
+                                    unsigned long);
+
+struct CleanTable
+{
+    std::map<std::uint64_t, std::uint64_t> ordered_;
+    std::unordered_map<std::uint64_t, std::uint64_t> lookupOnly_;
+
+    std::uint64_t
+    fold() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[k, v] : ordered_) // ordered: fine
+            n += v;
+        auto it = lookupOnly_.find(n); // point lookup: fine
+        return it == lookupOnly_.end() ? n : it->second;
+    }
+};
+
+unsigned long
+strictKnob()
+{
+    // Strict consumer on the same statement as getenv: approved.
+    return parseEnvUnsigned_stub("IRONHIDE_THREADS",
+                                 std::getenv("IRONHIDE_THREADS"), 4096);
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation: getenv() whose value never reaches a strict parse
+// helper. The env var name is deliberately not an IRONHIDE_*/IH_* knob
+// so only the raw-getenv rule fires here.
+#include <cstdlib>
+
+namespace fixture
+{
+
+const char *
+looseKnob()
+{
+    return std::getenv("LINT_FIXTURE_VAR"); // VIOLATION: raw getenv
+}
+
+} // namespace fixture

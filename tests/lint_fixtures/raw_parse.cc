@@ -1,0 +1,15 @@
+// Seeded violation: atof-family parsing outside harness/report. atof
+// accepts "0.15abc" and "inf" without complaint — the exact bug that
+// once silently disabled the perf gate's wall-time tolerance.
+#include <cstdlib>
+
+namespace fixture
+{
+
+double
+lenientTolerance(const char *text)
+{
+    return std::atof(text); // VIOLATION: lenient parse
+}
+
+} // namespace fixture

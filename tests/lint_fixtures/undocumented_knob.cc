@@ -1,0 +1,13 @@
+// Seeded violation: an IRONHIDE_*/IH_* knob literal that appears in
+// neither README.md nor docs/. The literal is referenced without
+// getenv so only the undocumented-knob rule fires here.
+namespace fixture
+{
+
+const char *
+undocumentedKnobName()
+{
+    return "IH_FIXTURE_BOGUS_KNOB"; // VIOLATION: undocumented knob
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Seeded violations: iteration over an unordered container, once as a
+// range-for and once via .begin(). Hash-order iteration silently ties
+// simulated results to the standard library's bucket layout.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct HomeTable
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> homes_;
+
+    std::uint64_t
+    rehomeEverything()
+    {
+        std::uint64_t seq = 0;
+        for (auto &[page, home] : homes_) { // VIOLATION: range-for
+            home = seq++;                   // order-sensitive body
+        }
+        return seq;
+    }
+
+    std::uint64_t
+    firstKey() const
+    {
+        return homes_.begin()->first; // VIOLATION: iterator access
+    }
+};
+
+} // namespace fixture

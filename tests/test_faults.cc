@@ -26,6 +26,21 @@ using namespace ih;
 namespace
 {
 
+// TSan slows the forked isolate children by an order of magnitude, so
+// a wall-clock per-job timeout sized for native builds trips on
+// healthy cells. Scale it; the seeded hang is 60 s and still trips.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kTimeoutScale = 20;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kTimeoutScale = 20;
+#else
+constexpr int kTimeoutScale = 1;
+#endif
+#else
+constexpr int kTimeoutScale = 1;
+#endif
+
 /** A fast app spec so the forked/parallel runs stay sub-second. */
 AppSpec
 tiny(const char *name = "<AES, QUERY>")
@@ -434,7 +449,7 @@ TEST(Isolate, AHangTripsThePerJobTimeout)
     SweepRunOptions opts;
     opts.threads = 2;
     opts.isolate = true;
-    opts.timeoutMs = 250;
+    opts.timeoutMs = 250 * kTimeoutScale;
     opts.retries = 1;
     const SweepOutcome out = runFaultTolerantSweep(
         "unit_hang", jobs, opts,
@@ -443,7 +458,9 @@ TEST(Isolate, AHangTripsThePerJobTimeout)
     EXPECT_EQ(out.exitCode(), kExitDegraded);
     EXPECT_EQ(out.failedCells(), std::vector<std::size_t>{1});
     EXPECT_EQ(out.cells[1].status, CellStatus::TIMEOUT);
-    EXPECT_NE(out.cells[1].error.find("timed out after 250 ms"),
+    EXPECT_NE(out.cells[1].error.find(
+                  "timed out after " +
+                  std::to_string(250 * kTimeoutScale) + " ms"),
               std::string::npos);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         if (j != 1) {
